@@ -1,0 +1,202 @@
+(* Benchmark harness.
+
+   Two halves:
+   1. The experiment tables E1-E11 (one per paper lemma/theorem — the paper,
+      a theory paper, has no numbered tables/figures; these are its results
+      as measurements).  `EXPERIMENTS.md` records paper-vs-measured.
+   2. Bechamel wall-clock micro-benchmarks of the simulator and of one
+      object operation through each universal construction at several n —
+      the shape (flat for direct CAS, logarithmic for the tree, linear for
+      the announce-array baseline) mirrors the shared-access counts.
+
+   Usage:
+     bench/main.exe              all experiments + timing benches
+     bench/main.exe exp          all experiment tables
+     bench/main.exe exp e7       one experiment
+     bench/main.exe quick        reduced-size experiment tables
+     bench/main.exe time         timing benches only *)
+
+open Lowerbound
+
+let run_tables tables =
+  let failures =
+    List.fold_left
+      (fun failures table ->
+        Format.printf "%a@.@." Lb_experiments.Table.pp table;
+        if table.Lb_experiments.Table.pass then failures
+        else table.Lb_experiments.Table.id :: failures)
+      [] tables
+  in
+  match failures with
+  | [] -> Format.printf "All %d experiments PASS@." (List.length tables)
+  | ids ->
+    Format.printf "FAILED experiments: %s@." (String.concat ", " (List.rev ids));
+    exit 1
+
+(* ---- Bechamel timing ---- *)
+
+let construction_op_test (c : Iface.t) n =
+  (* One fetch&inc through the construction, solo (deterministic cost). *)
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "%s fetch&inc n=%d" c.Iface.name n)
+    (Bechamel.Staged.stage (fun () ->
+         let layout = Layout.create () in
+         let handle = c.Iface.create layout ~n (Counters.fetch_inc ~bits:62) in
+         let memory = Memory.create () in
+         Layout.install layout memory;
+         let p = Process.create ~id:0 (handle.Iface.apply ~pid:0 ~seq:0 Value.Unit) in
+         ignore (Process.run_solo p memory (Coin.constant 0) ~fuel:100_000)))
+
+let direct_cas_test n =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "direct-cas n=%d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let layout = Layout.create () in
+         let handle = Direct.compare_and_swap layout ~init:(Value.Int 0) in
+         let memory = Memory.create () in
+         Layout.install layout memory;
+         let p =
+           Process.create ~id:0
+             (handle.Iface.apply ~pid:0 ~seq:0
+                (Misc_types.op_cas ~expected:(Value.Int 0) ~new_:(Value.Int 1)))
+         in
+         ignore (Process.run_solo p memory (Coin.constant 0) ~fuel:100)))
+
+let memory_ops_test =
+  Bechamel.Test.make ~name:"memory: LL+SC pair"
+    (Bechamel.Staged.stage
+       (let memory = Memory.create ~default:(Value.Int 0) () in
+        fun () ->
+          ignore (Memory.apply memory ~pid:0 (Op.Ll 0));
+          ignore (Memory.apply memory ~pid:0 (Op.Sc (0, Value.Int 1)))))
+
+let adversary_round_test n =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "adversary 4 rounds, naive n=%d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let program_of, inits = Corpus.naive.Corpus.make ~n in
+         ignore (All_run.execute ~n ~program_of ~inits ~max_rounds:4 ())))
+
+let secretive_test n =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "secretive schedule n=%d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let spec = Lb_secretive.Move_spec.of_list (List.init n (fun i -> (i, (i, i + 1)))) in
+         ignore (Lb_secretive.Secretive.build spec)))
+
+let timing () =
+  let open Bechamel in
+  let tests =
+    [
+      memory_ops_test;
+      secretive_test 256;
+      secretive_test 4096;
+      adversary_round_test 64;
+      direct_cas_test 64;
+      direct_cas_test 1024;
+      construction_op_test Adt_tree.construction 16;
+      construction_op_test Adt_tree.construction 256;
+      construction_op_test Adt_tree.construction 1024;
+      construction_op_test Herlihy.construction 16;
+      construction_op_test Herlihy.construction 256;
+      construction_op_test Consensus_list.construction 16;
+      construction_op_test Consensus_list.construction 256;
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"lowerbound" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "@.== Timing (monotonic clock, ns per run)@.";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | Some [] | None -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Format.printf "%-45s %12.0f ns@." name est)
+    (List.sort compare !rows)
+
+(* ---- shape chart: the paper's complexity landscape at a glance ---- *)
+
+let charts () =
+  let ns = [ 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  let sweep construction =
+    List.map
+      (fun n ->
+        let result =
+          Harness.run ~construction ~spec:(Counters.fetch_inc ~bits:62) ~n
+            ~ops:(fun _ -> [ Value.Unit ])
+            ()
+        in
+        (n, result.Harness.max_cost))
+      ns
+  in
+  let cas_points =
+    List.map
+      (fun n ->
+        let layout = Layout.create () in
+        let handle = Direct.compare_and_swap layout ~init:(Value.Int 0) in
+        let memory = Memory.create () in
+        Layout.install layout memory;
+        let result =
+          Harness.run_handle ~memory ~handle ~n
+            ~ops:(fun pid ->
+              [
+                Misc_types.op_cas ~expected:(Value.Int 0)
+                  ~new_:(Value.pair (Value.Int pid) Value.unit);
+              ])
+            ()
+        in
+        (n, result.Harness.max_cost))
+      ns
+  in
+  Format.printf
+    "@.== Worst-case shared-memory operations per object operation (fetch&inc)@.@.%s@."
+    (Lb_experiments.Chart.render ~width:64 ~height:18
+       [
+         { Lb_experiments.Chart.label = "herlihy (oblivious, 2n + 6)"; mark = 'h';
+           points = sweep Herlihy.construction };
+         { Lb_experiments.Chart.label = "consensus-list (oblivious, ~4n)"; mark = 'c';
+           points = sweep Consensus_list.construction };
+         { Lb_experiments.Chart.label = "adt-tree (oblivious, 8 log2 n + 9)"; mark = 't';
+           points = sweep Adt_tree.construction };
+         { Lb_experiments.Chart.label = "direct CAS (semantic, <= 2)"; mark = '_';
+           points = cas_points };
+       ]);
+  (* Zoom on the sublinear curves: the tree's logarithmic staircase (a
+     constant +8 per doubling of n) against the flat semantic CAS and the
+     ceil(log4 n) floor. *)
+  let floor_points = List.map (fun n -> (n, Lower_bound.ceil_log4 n)) ns in
+  Format.printf "== Zoom: the logarithmic staircase vs the floor@.@.%s@."
+    (Lb_experiments.Chart.render ~width:64 ~height:18
+       [
+         { Lb_experiments.Chart.label = "adt-tree (8 log2 n + 9)"; mark = 't';
+           points = sweep Adt_tree.construction };
+         { Lb_experiments.Chart.label = "Theorem 6.1 floor (ceil(log4 n))"; mark = 'f';
+           points = floor_points };
+         { Lb_experiments.Chart.label = "direct CAS (semantic, <= 2)"; mark = '_';
+           points = cas_points };
+       ])
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "exp" :: [] -> run_tables (Lb_experiments.Experiments.all ~quick:false)
+  | _ :: "exp" :: id :: _ -> (
+    match Lb_experiments.Experiments.by_id id with
+    | Some f -> run_tables [ f () ]
+    | None ->
+      Format.printf "unknown experiment %s (have: %s)@." id
+        (String.concat ", " Lb_experiments.Experiments.ids);
+      exit 2)
+  | _ :: "quick" :: _ -> run_tables (Lb_experiments.Experiments.all ~quick:true)
+  | _ :: "time" :: _ -> timing ()
+  | _ :: "chart" :: _ -> charts ()
+  | _ ->
+    run_tables (Lb_experiments.Experiments.all ~quick:false);
+    charts ();
+    timing ()

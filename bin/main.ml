@@ -1,0 +1,299 @@
+(* The `lowerbound` command-line tool.
+
+   Subcommands:
+     exp [IDS..]       run experiment tables (default: all)
+     analyze NAME -n N run the Theorem 6.1 adversary analysis on one corpus
+                       algorithm and print the full report
+     corpus            list the wakeup algorithm corpus
+     trace NAME -n N   print the round-by-round (All, A)-run of an algorithm
+     sweep CONSTR      complexity sweep of a universal construction *)
+
+open Lowerbound
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logging =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* ---- exp ---- *)
+
+let exp_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1 .. e11).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-size sweeps (fast).")
+  in
+  let run () ids quick =
+    let tables =
+      match ids with
+      | [] -> Lb_experiments.Experiments.all ~quick
+      | ids ->
+        List.map
+          (fun id ->
+            match Lb_experiments.Experiments.by_id id with
+            | Some f -> f ()
+            | None -> failwith (Printf.sprintf "unknown experiment %s" id))
+          ids
+    in
+    List.iter (fun t -> Format.printf "%a@.@." Lb_experiments.Table.pp t) tables;
+    if List.for_all (fun t -> t.Lb_experiments.Table.pass) tables then 0 else 1
+  in
+  let term = Term.(const run $ logging $ ids_arg $ quick) in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run experiment tables (the paper's results as measurements).")
+    term
+
+(* ---- corpus ---- *)
+
+let corpus_cmd =
+  let run () =
+    Format.printf "correct wakeup algorithms:@.";
+    List.iter
+      (fun (e : Corpus.entry) ->
+        Format.printf "  %-35s randomized=%b%s@." e.Corpus.name e.Corpus.randomized
+          (match e.Corpus.worst_case with
+          | Some b -> Printf.sprintf "  worst case at n=64: %d" (b ~n:64)
+          | None -> ""))
+      (Corpus.correct_algorithms ());
+    Format.printf "cheaters (failure injection):@.";
+    List.iter
+      (fun (e : Corpus.entry) -> Format.printf "  %-35s randomized=%b@." e.Corpus.name e.Corpus.randomized)
+      (Corpus.cheaters ~n_hint:64);
+    0
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"List the wakeup algorithm corpus.") Term.(const run $ logging)
+
+(* ---- shared args ---- *)
+
+let n_arg =
+  Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Toss-assignment seed.")
+
+let name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ALGORITHM" ~doc:"Corpus entry name (see `lowerbound corpus`).")
+
+let find_entry name =
+  match Corpus.find name with
+  | Some e -> e
+  | None -> (
+    match List.find_opt (fun (e : Corpus.entry) -> e.Corpus.name = name) (Corpus.cheaters ~n_hint:64) with
+    | Some e -> e
+    | None -> failwith (Printf.sprintf "unknown algorithm %S (try `lowerbound corpus`)" name))
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run () name n seed =
+    let entry = find_entry name in
+    let report =
+      if entry.Corpus.randomized then Lowerbound.analyze_entry_seeded entry ~n ~seed ~max_rounds:40_000
+      else Lowerbound.analyze_entry entry ~n ~max_rounds:40_000
+    in
+    Format.printf "%a@." Lower_bound.pp_report report;
+    if report.Lower_bound.violation = None then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Theorem 6.1 analysis: run the adversary, compute UP sets, build the (S, A)-run and \
+          report the forced complexity (exit 3 when a wakeup violation is found — i.e. for \
+          cheaters).")
+    Term.(const run $ logging $ name_arg $ n_arg $ seed_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"R" ~doc:"Max rounds to print.")
+  in
+  let run () name n seed max_print =
+    let entry = find_entry name in
+    let program_of, inits = entry.Corpus.make ~n in
+    let assignment = if entry.Corpus.randomized then Coin.uniform ~seed else Coin.constant 0 in
+    let run = All_run.execute ~n ~program_of ~assignment ~inits ~max_rounds:40_000 () in
+    List.iteri
+      (fun i round -> if i < max_print then Format.printf "%a@." Round.pp round)
+      run.All_run.rounds;
+    Format.printf "(%d rounds total; results: %s)@." (All_run.num_rounds run)
+      (String.concat ", "
+         (List.map (fun (p, v) -> Printf.sprintf "p%d=%d" p v) run.All_run.results));
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the round-by-round (All, A)-run of a corpus algorithm.")
+    Term.(const run $ logging $ name_arg $ n_arg $ seed_arg $ rounds_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let constr_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("adt-tree", `Adt); ("herlihy", `Herlihy); ("consensus-list", `Consensus) ]))
+          None
+      & info [] ~docv:"CONSTRUCTION" ~doc:"adt-tree, herlihy or consensus-list.")
+  in
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+      & info [ "ns" ] ~docv:"NS" ~doc:"Comma-separated process counts.")
+  in
+  let run () which ns =
+    let construction =
+      match which with
+      | `Adt -> Adt_tree.construction
+      | `Herlihy -> Herlihy.construction
+      | `Consensus -> Consensus_list.construction
+    in
+    let rows =
+      Complexity.sweep ~construction
+        ~spec_of:(fun _ -> Counters.fetch_inc ~bits:62)
+        ~ops_of:(fun ~n:_ _ -> [ Value.Unit ])
+        ~ns ()
+    in
+    Format.printf "%a@."
+      (Complexity.pp_table
+         ~header:(Printf.sprintf "%s / fetch&inc, worst-case shared ops per operation"
+                    construction.Iface.name))
+      rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Measure a universal construction's shared-access cost over n.")
+    Term.(const run $ logging $ constr_arg $ ns_arg)
+
+(* ---- upsets ---- *)
+
+let upsets_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 12 & info [ "rounds" ] ~docv:"R" ~doc:"Max rounds to display.")
+  in
+  let run () name n seed max_print =
+    let entry = find_entry name in
+    let program_of, inits = entry.Corpus.make ~n in
+    let assignment = if entry.Corpus.randomized then Coin.uniform ~seed else Coin.constant 0 in
+    let run = All_run.execute ~n ~program_of ~assignment ~inits ~max_rounds:40_000 () in
+    let upsets = Upsets.compute ~n run.All_run.rounds in
+    Format.printf
+      "UP-set growth for %s at n = %d (Lemma 5.1 bound: |UP(X, r)| <= 4^r):@.@.%5s | %12s | %9s | %s@."
+      name n "round" "4^r (cap n)" "max |UP|" "per-process |UP(p, r)|";
+    Format.printf "%s@." (String.make 72 '-');
+    let rounds = min (Upsets.rounds upsets) max_print in
+    for r = 0 to rounds do
+      let pow = if r >= 16 then n else min n (1 lsl (2 * r)) in
+      let sizes =
+        List.init n (fun pid -> Ids.cardinal (Upsets.of_process upsets ~r ~pid))
+      in
+      Format.printf "%5d | %12d | %9d | %s@." r pow (Upsets.max_size upsets ~r)
+        (String.concat " " (List.map string_of_int sizes))
+    done;
+    if Upsets.rounds upsets > rounds then
+      Format.printf "... (%d more rounds)@." (Upsets.rounds upsets - rounds);
+    Format.printf "@.lemma 5.1 holds over the whole run: %b@." (Upsets.lemma_5_1_holds upsets);
+    0
+  in
+  Cmd.v
+    (Cmd.info "upsets"
+       ~doc:
+         "Show the round-by-round growth of the UP knowledge sets along the (All, A)-run — \
+          the mechanism that forces the log4 n bound.")
+    Term.(const run $ logging $ name_arg $ n_arg $ seed_arg $ rounds_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let constr_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("adt-tree", `Adt); ("herlihy", `Herlihy); ("consensus-list", `Consensus) ]))
+          None
+      & info [] ~docv:"CONSTRUCTION" ~doc:"adt-tree, herlihy or consensus-list.")
+  in
+  let run () which n =
+    let construction =
+      match which with
+      | `Adt -> Adt_tree.construction
+      | `Herlihy -> Herlihy.construction
+      | `Consensus -> Consensus_list.construction
+    in
+    let layout = Layout.create () in
+    let handle = construction.Iface.create layout ~n (Counters.fetch_inc ~bits:62) in
+    let memory = Memory.create ~log:true () in
+    Layout.install layout memory;
+    let result =
+      Harness.run_handle ~memory ~handle ~n ~ops:(fun _ -> [ Value.Unit; Value.Unit ]) ()
+    in
+    Format.printf "%s, %d processes x 2 fetch&inc each (round-robin):@.%a@."
+      construction.Iface.name n Profile.pp (Profile.of_memory memory);
+    Format.printf "worst op cost: %d (analytic bound %d)@." result.Harness.max_cost
+      (construction.Iface.worst_case ~n);
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Contention profile (per-register access statistics) of a universal construction.")
+    Term.(const run $ logging $ constr_arg $ n_arg)
+
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let max_runs_arg =
+    Arg.(
+      value & opt int 500_000
+      & info [ "max-runs" ] ~docv:"K" ~doc:"Abort if more interleavings than this.")
+  in
+  let run () name n max_runs =
+    let entry = find_entry name in
+    let program_of, inits = entry.Corpus.make ~n in
+    let coin_range = if entry.Corpus.randomized then [ 0; 1 ] else [ 0 ] in
+    let violations = ref 0 in
+    (try
+       let count =
+         Explore.iter ~n ~program_of ~inits ~coin_range ~max_runs
+           ~f:(fun run -> if not (Explore.wakeup_ok ~n run) then incr violations)
+           ()
+       in
+       Format.printf "%s at n = %d: %d interleavings, %d wakeup violations -> %s@." name n count
+         !violations
+         (if !violations = 0 then "VERIFIED" else "VIOLATED")
+     with Explore.Limit_exceeded k ->
+       Format.printf "state space exceeds %d runs; reduce n or raise --max-runs@." k);
+    if !violations = 0 then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively verify a wakeup algorithm over every interleaving (and coin outcome) at \
+          a small n (exit 3 if violations are found).")
+    Term.(const run $ logging $ name_arg $ n_arg $ max_runs_arg)
+
+let main_cmd =
+  let doc =
+    "Executable reproduction of Jayanti's PODC 1998 \\(Omega\\)(log n) lower bound for \
+     randomized implementations of shared objects from LL/SC/validate/move/swap."
+  in
+  Cmd.group
+    (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
+    [
+      exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
+      upsets_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

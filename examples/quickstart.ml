@@ -1,0 +1,54 @@
+(* Quickstart: the shared-memory model and the program monad.
+
+   Builds the paper's Section 3 world from the public API: a memory of
+   registers with (value, Pset) state, five operations (LL, SC, validate,
+   swap, move), and algorithms written as schedulable step machines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Lowerbound
+open Program.Syntax
+
+(* An algorithm: LL a shared counter, try to SC it one higher, report
+   whether the SC succeeded and what value was seen. *)
+let increment_once _pid =
+  let* seen = Program.ll 0 in
+  let* ok = Program.sc_flag 0 (Value.Int (Value.to_int seen + 1)) in
+  Program.return (Value.to_int seen, ok)
+
+let () =
+  (* 1. Drive a single process by hand. *)
+  let memory = Memory.create ~default:(Value.Int 0) () in
+  let p = Process.create ~id:0 (increment_once 0) in
+  let seen, ok = Process.run_solo p memory (Coin.constant 0) ~fuel:10 in
+  Format.printf "solo: saw %d, SC ok = %b, counter now %a (ops: %d)@." seen ok Value.pp
+    (Memory.peek memory 0) (Process.shared_ops p);
+
+  (* 2. Interleave four processes under a round-robin scheduler: all LL
+     first, then all SC — LL/SC semantics let exactly one SC win. *)
+  let memory = Memory.create ~default:(Value.Int 0) () in
+  let sys = System.create ~memory ~n:4 increment_once in
+  let outcome = System.run sys Scheduler.round_robin ~fuel:100 in
+  Format.printf "@.round-robin x4: %a, counter = %a@." System.pp_outcome outcome Value.pp
+    (Memory.peek memory 0);
+  Array.iteri
+    (fun pid result ->
+      match result with
+      | Some (seen, ok) -> Format.printf "  p%d saw %d, SC %s@." pid seen (if ok then "won" else "lost")
+      | None -> ())
+    (System.results sys);
+
+  (* 3. The other three operations: validate (a read that also tests the
+     link), swap, and register-to-register move. *)
+  let memory = Memory.create () in
+  Memory.set_init memory 1 (Value.Str "payload");
+  let program =
+    let* () = Program.move ~src:1 ~dst:2 in
+    let* moved = Program.read 2 in
+    let* old = Program.swap 2 (Value.Str "replaced") in
+    Program.return (moved, old)
+  in
+  let p = Process.create ~id:0 program in
+  let moved, old = Process.run_solo p memory (Coin.constant 0) ~fuel:10 in
+  Format.printf "@.move copied %a; swap returned %a; R2 now %a@." Value.pp moved Value.pp old
+    Value.pp (Memory.peek memory 2)

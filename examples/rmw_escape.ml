@@ -1,0 +1,47 @@
+(* Section 7's escape hatch: RMW(R, f) makes everything unit-cost.
+
+   The paper closes by observing that its Ω(log n) bound is about the
+   LL/SC/validate/move/swap repertoire: give the memory a read-modify-write
+   that applies an arbitrary computable function and every object — and the
+   wakeup problem — drops to ONE shared operation, because a single register
+   of unbounded size can hold the whole object state.
+
+   Run with: dune exec examples/rmw_escape.exe *)
+
+open Lowerbound
+
+let () =
+  (* A queue, a wide fetch&multiply, and consensus — each in one op/call. *)
+  List.iter
+    (fun (spec, ops) ->
+      let handle = Rmw.create ~reg:0 spec in
+      let n = List.length ops in
+      let _, results =
+        Rmw.run_system ~n
+          ~program_of:(fun pid -> Rmw.apply handle ~op:(List.nth ops pid))
+          ~inits:[ (0, Rmw.init handle) ]
+          ~schedule:(List.init n (fun i -> i))
+      in
+      Format.printf "%-22s -> %s@." spec.Spec.name
+        (String.concat ", "
+           (List.map (fun (pid, r) -> Printf.sprintf "p%d:%s" pid (Value.to_string r)) results)))
+    [
+      (Containers.queue_with_items 3, [ Containers.op_deq; Containers.op_deq ]);
+      (Bitwise.fetch_multiply ~bits:8, [ Value.Int 2; Value.Int 3; Value.Int 5 ]);
+      ( Misc_types.consensus,
+        [ Misc_types.op_propose (Value.Str "a"); Misc_types.op_propose (Value.Str "b") ] );
+    ];
+  (* Wakeup at a size where LL/SC provably needs >= 6 operations. *)
+  let n = 4096 in
+  let program_of, inits = Rmw.wakeup ~n ~reg:0 in
+  let memory, results =
+    Rmw.run_system ~n ~program_of ~inits ~schedule:(List.init n (fun i -> i))
+  in
+  let winners = List.filter (fun (_, v) -> v = 1) results in
+  Format.printf
+    "@.wakeup at n = %d: max %d shared op per process (LL/SC floor: ceil(log4 n) = %d), %d \
+     winner@."
+    n (Rmw.Mem.max_ops memory) (Lower_bound.ceil_log4 n) (List.length winners);
+  Format.printf
+    "the open problem: how little can the operation repertoire offer and still@.\
+     force Omega(log n)?  (Section 7 of the paper.)@."

@@ -1,0 +1,54 @@
+open Lb_memory
+open Lb_secretive
+open Lb_runtime
+
+type outcome = Terminating | Round_limit
+
+type 'a t = {
+  n : int;
+  rounds : 'a Round.t list;
+  results : (int * 'a) list;
+  outcome : outcome;
+  max_shared_ops : int;
+  largest_register : int;
+}
+
+let execute ~n ~program_of ?(assignment = Coin.constant 0) ?(inits = []) ~max_rounds () =
+  let engine = Engine.start ~n ~program_of ~assignment ~inits in
+  let rec go budget =
+    if Engine.all_terminated engine then Terminating
+    else if budget = 0 then Round_limit
+    else begin
+      ignore
+        (Engine.exec_round engine ~select:(fun _ -> true) ~move_order:Secretive.build_checked);
+      go (budget - 1)
+    end
+  in
+  let outcome = go max_rounds in
+  {
+    n;
+    rounds = Engine.rounds engine;
+    results = Engine.results engine;
+    outcome;
+    max_shared_ops = Memory.max_ops (Engine.memory engine);
+    largest_register = Memory.largest_value_size (Engine.memory engine);
+  }
+
+let round t r =
+  if r < 1 then invalid_arg (Printf.sprintf "All_run.round: no round %d" r);
+  match List.nth_opt t.rounds (r - 1) with
+  | Some round -> round
+  | None -> invalid_arg (Printf.sprintf "All_run.round: no round %d" r)
+
+let num_rounds t = List.length t.rounds
+
+let ops_of t ~pid =
+  match List.rev t.rounds with
+  | [] -> 0
+  | last :: _ -> (Round.obs last pid).Round.ops
+
+let termination_round t ~pid =
+  List.find_map
+    (fun r ->
+      match (Round.obs r pid).Round.result with Some _ -> Some r.Round.index | None -> None)
+    t.rounds

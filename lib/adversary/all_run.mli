@@ -1,0 +1,47 @@
+(** The (All, A)-run: the adversary of Figure 2.
+
+    Given an algorithm (one program per process) and a toss assignment [A],
+    the adversary schedules {e all} processes in rounds: every non-terminated
+    process takes its local coin tosses and then exactly one shared-memory
+    operation per round, in the phase order LL/validate, move (ordered by a
+    secretive complete schedule), swap, SC. *)
+
+open Lb_memory
+open Lb_runtime
+
+type outcome =
+  | Terminating  (** all processes terminated. *)
+  | Round_limit  (** the round budget ran out first. *)
+
+type 'a t = {
+  n : int;
+  rounds : 'a Round.t list;  (** oldest first. *)
+  results : (int * 'a) list;  (** terminated processes, id order. *)
+  outcome : outcome;
+  max_shared_ops : int;  (** the paper's [t(R)] = max over processes. *)
+  largest_register : int;  (** max [Value.size] any register reached. *)
+}
+
+val execute :
+  n:int ->
+  program_of:(int -> 'a Program.t) ->
+  ?assignment:Coin.assignment ->
+  ?inits:(int * Value.t) list ->
+  max_rounds:int ->
+  unit ->
+  'a t
+(** Run the adversary.  [max_rounds] bounds the execution of non-terminating
+    algorithms (a terminating run stops as soon as every process has
+    terminated). *)
+
+val round : 'a t -> int -> 'a Round.t
+(** [round t r] is round [r] (1-based).  Raises [Invalid_argument] if out of
+    range. *)
+
+val num_rounds : 'a t -> int
+
+val ops_of : 'a t -> pid:int -> int
+(** Shared-memory operations the process performed over the whole run. *)
+
+val termination_round : 'a t -> pid:int -> int option
+(** First round at whose end the process was terminated. *)

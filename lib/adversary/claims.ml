@@ -1,0 +1,113 @@
+open Lb_memory
+open Lb_secretive
+
+type failure = { claim : string; round : int; detail : string }
+
+let check ~n ~all_run ~s_run ~upsets =
+  let failures = ref [] in
+  let fail claim round detail = failures := { claim; round; detail } :: !failures in
+  let s = s_run.S_run.s in
+  let in_s up = Ids.subset up s in
+  let total = min (All_run.num_rounds all_run) (S_run.num_rounds s_run) in
+  for r = 1 to total do
+    let all_round = All_run.round all_run r in
+    let s_round = S_run.round s_run r in
+    let up_prev pid = Upsets.of_process upsets ~r:(r - 1) ~pid in
+    (* A.1: toss counts of in-S processes agree at end of round r (tosses
+       only happen in phase 1). *)
+    for pid = 0 to n - 1 do
+      if in_s (up_prev pid) then begin
+        let ta = (Round.obs all_round pid).Round.tosses
+        and ts = (Round.obs s_round pid).Round.tosses in
+        if ta <> ts then
+          fail "A.1" r (Printf.sprintf "p%d tosses: %d (All) vs %d (S)" pid ta ts)
+      end
+    done;
+    (* A.2. *)
+    for pid = 0 to n - 1 do
+      let ea = Round.event_of all_round pid and es = Round.event_of s_round pid in
+      if not (in_s (up_prev pid)) then begin
+        match es with
+        | Some _ ->
+          fail "A.2(1)" r (Printf.sprintf "p%d stepped in (S,A)-run despite UP ⊄ S" pid)
+        | None -> ()
+      end
+      else
+        match ea, es with
+        | None, Some _ ->
+          fail "A.2(2)" r (Printf.sprintf "p%d idle in (All,A)-run but stepped in (S,A)-run" pid)
+        | Some a, Some b ->
+          if not (Op.equal_invocation a.Round.invocation b.Round.invocation) then
+            fail "A.2(3)" r
+              (Format.asprintf "p%d operations differ: %a vs %a" pid Op.pp_invocation
+                 a.Round.invocation Op.pp_invocation b.Round.invocation)
+        | (None | Some _), None -> ()
+      (* an in-S process may legitimately be idle in the S-run only when it
+         is idle (or terminated) in the All-run as well — the Some/None case
+         above; None/None is fine. *)
+    done;
+    (* A.3: move groups. *)
+    let g2 = Move_spec.procs all_round.Round.move_spec in
+    List.iter
+      (fun p ->
+        if not (List.mem p g2) then
+          fail "A.3" r (Printf.sprintf "p%d moves in (S,A)-run but not in (All,A)-run" p))
+      (Move_spec.procs s_round.Round.move_spec);
+    (* Register-level claims, over registers touched in either run. *)
+    let touched =
+      List.sort_uniq Int.compare
+        (List.concat_map
+           (fun (round : 'a Round.t) ->
+             List.concat_map (fun e -> Op.registers e.Round.invocation) round.Round.events)
+           [ all_round; s_round ])
+    in
+    List.iter
+      (fun reg ->
+        let up_r = Upsets.of_register upsets ~r ~reg in
+        let up_r_prev = Upsets.of_register upsets ~r:(r - 1) ~reg in
+        (match Round.successful_sc all_round ~reg with
+        | Some winner ->
+          (* A.4. *)
+          if not (Ids.subset up_r_prev up_r) then
+            fail "A.4" r
+              (Format.asprintf "R%d: UP(R, r-1) = %a ⊄ UP(R, r) = %a" reg Ids.pp up_r_prev
+                 Ids.pp up_r);
+          (* A.6. *)
+          if in_s up_r then begin
+            match Round.successful_sc s_round ~reg with
+            | Some winner' when winner' = winner -> ()
+            | Some winner' ->
+              fail "A.6" r
+                (Printf.sprintf "R%d: winner p%d (All) vs p%d (S)" reg winner winner')
+            | None ->
+              fail "A.6" r (Printf.sprintf "R%d: p%d's SC succeeds only in (All,A)-run" reg winner)
+          end
+        | None ->
+          (* A.9. *)
+          if in_s up_r then begin
+            match Round.successful_sc s_round ~reg with
+            | Some winner ->
+              fail "A.9" r
+                (Printf.sprintf "R%d: p%d's SC succeeds only in (S,A)-run" reg winner)
+            | None -> ()
+          end);
+        (* A.5: any SC-attempting process with UP(p, r) ⊆ S forces
+           UP(R, r) ⊆ S. *)
+        List.iter
+          (fun e ->
+            match e.Round.invocation with
+            | Op.Sc (reg', _) when reg' = reg ->
+              if
+                in_s (Upsets.of_process upsets ~r ~pid:e.Round.pid) && not (in_s up_r)
+              then
+                fail "A.5" r
+                  (Format.asprintf "R%d: p%d SCs with UP(p) ⊆ S but UP(R, r) = %a ⊄ S" reg
+                     e.Round.pid Ids.pp up_r)
+            | _ -> ())
+          all_round.Round.events)
+      touched
+  done;
+  List.rev !failures
+
+let pp_failure ppf { claim; round; detail } =
+  Format.fprintf ppf "claim %s, round %d: %s" claim round detail

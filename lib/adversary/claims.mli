@@ -1,0 +1,38 @@
+(** The appendix claims (A.1 – A.9) as checkable per-round properties.
+
+    The paper proves the Indistinguishability Lemma through a sequence of
+    claims about corresponding rounds of the (All, A)-run and the
+    (S, A)-run.  {!Indistinguishability} checks the lemma itself (the
+    induction conclusion, claims A.11/A.12); this module checks the
+    intermediate claims that are observable from the round records:
+
+    - A.1: processes with [UP(p, r-1) ⊆ S] perform the same coin tosses in
+      round [r] of both runs (toss counts agree at end of round).
+    - A.2: (1) processes with [UP(p, r-1) ⊄ S] take no shared-memory step in
+      round [r] of the (S, A)-run; (2) if such an in-S process idles in the
+      (All, A)-run it idles in the (S, A)-run; (3) if it performs an
+      operation, it performs the {e same} operation in both.
+    - A.3: the (S, A)-run's round-[r] move group is a subset of the
+      (All, A)-run's.
+    - A.4: a successful SC on [R] in round [r] implies
+      [UP(R, r-1) ⊆ UP(R, r)].
+    - A.5: if [UP(p, r) ⊆ S] and [p] SCs on [R] in round [r], then
+      [UP(R, r) ⊆ S].
+    - A.6: if [UP(R, r) ⊆ S] and some [q] performs a successful [SC(R, v)]
+      in round [r] of the (All, A)-run, the same SC succeeds in the
+      (S, A)-run.
+    - A.9: if [UP(R, r) ⊆ S] and no successful SC hits [R] in round [r] of
+      the (All, A)-run, none does in the (S, A)-run.
+
+    Claims A.7/A.8 concern the register state at interior phase boundaries,
+    which the round records do not snapshot; their end-of-round consequences
+    are covered by the register half of {!Indistinguishability.check}
+    (claim A.12), and A.10 is the read-only case of the same check. *)
+
+type failure = { claim : string; round : int; detail : string }
+
+val check :
+  n:int -> all_run:'a All_run.t -> s_run:'a S_run.t -> upsets:Upsets.t -> failure list
+(** Empty = every checkable claim held on every round of the run pair. *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,36 @@
+(** Shared round-execution engine for the (All, A)- and (S, A)-run builders.
+
+    Both runs share the five-phase round structure and differ only in which
+    processes participate in a round and how the move phase is ordered; the
+    two builders inject those choices. *)
+
+open Lb_memory
+open Lb_secretive
+open Lb_runtime
+
+type 'a t
+
+val start :
+  n:int ->
+  program_of:(int -> 'a Program.t) ->
+  assignment:Coin.assignment ->
+  inits:(int * Value.t) list ->
+  'a t
+
+val memory : 'a t -> Memory.t
+val process : 'a t -> int -> 'a Process.t
+val rounds : 'a t -> 'a Round.t list
+(** Rounds executed so far, oldest first. *)
+
+val all_terminated : 'a t -> bool
+
+val exec_round :
+  'a t -> select:(int -> bool) -> move_order:(Move_spec.t -> int list) -> 'a Round.t
+(** Execute one round: phase-1 local tosses for every selected, non-terminated
+    process; partition by pending operation; fire phases 2-5 ([move_order]
+    supplies σ_r given the round's move spec — it must be a complete schedule
+    over exactly that spec, or the engine raises).  Appends and returns the
+    round record (possibly with no events if nothing was runnable). *)
+
+val results : 'a t -> (int * 'a) list
+(** Terminated processes with their results, id order. *)

@@ -1,0 +1,83 @@
+open Lb_memory
+
+type failure = {
+  round : int;
+  subject : [ `Process of int | `Register of int ];
+  reason : string;
+}
+
+let reg_state round reg =
+  Option.value ~default:(Value.Unit, Ids.empty) (Round.reg_state round reg)
+
+(* The events process [pid] executed in the given round, as an option. *)
+let event_agrees all_round s_round pid =
+  match Round.event_of all_round pid, Round.event_of s_round pid with
+  | None, None -> true
+  | Some a, Some b ->
+    Op.equal_invocation a.Round.invocation b.Round.invocation
+    && Op.equal_response a.Round.response b.Round.response
+  | Some _, None | None, Some _ -> false
+
+let check ~n ~all_run ~s_run ~upsets =
+  let failures = ref [] in
+  let fail round subject reason = failures := { round; subject; reason } :: !failures in
+  let s = s_run.S_run.s in
+  let total = min (All_run.num_rounds all_run) (S_run.num_rounds s_run) in
+  let in_s up = Ids.subset up s in
+  for r = 1 to total do
+    let all_round = All_run.round all_run r in
+    let s_round = S_run.round s_run r in
+    (* Processes with UP(p, r) ⊆ S, computed once per round — the register
+       loop below re-uses the list. *)
+    let in_s_pids =
+      List.filter (fun pid -> in_s (Upsets.of_process upsets ~r ~pid)) (List.init n (fun i -> i))
+    in
+    List.iter
+      (fun pid ->
+        let oa = Round.obs all_round pid and ob = Round.obs s_round pid in
+        if oa.Round.tosses <> ob.Round.tosses then
+          fail r (`Process pid)
+            (Printf.sprintf "numtosses differ: %d (All) vs %d (S)" oa.Round.tosses
+               ob.Round.tosses);
+        if oa.Round.ops <> ob.Round.ops then
+          fail r (`Process pid)
+            (Printf.sprintf "shared-op counts differ: %d (All) vs %d (S)" oa.Round.ops
+               ob.Round.ops);
+        (match oa.Round.result, ob.Round.result with
+        | Some _, Some _ | None, None -> ()
+        | Some _, None -> fail r (`Process pid) "terminated in (All,A)-run but not in (S,A)-run"
+        | None, Some _ -> fail r (`Process pid) "terminated in (S,A)-run but not in (All,A)-run");
+        if not (event_agrees all_round s_round pid) then
+          fail r (`Process pid) "round events (invocation/response) differ")
+      in_s_pids;
+    (* Registers with UP(R, r) ⊆ S: all registers touched by either run. *)
+    let touched =
+      List.sort_uniq Int.compare
+        (List.map fst all_round.Round.regs @ List.map fst s_round.Round.regs)
+    in
+    List.iter
+      (fun reg ->
+        if in_s (Upsets.of_register upsets ~r ~reg) then begin
+          let va, pa = reg_state all_round reg and vb, pb = reg_state s_round reg in
+          if not (Value.equal va vb) then
+            fail r (`Register reg)
+              (Printf.sprintf "values differ: %s (All) vs %s (S)" (Value.to_string va)
+                 (Value.to_string vb));
+          List.iter
+            (fun q ->
+              if Ids.mem q pa <> Ids.mem q pb then
+                fail r (`Register reg)
+                  (Printf.sprintf "Pset membership of p%d differs: %b (All) vs %b (S)" q
+                     (Ids.mem q pa) (Ids.mem q pb)))
+            in_s_pids
+        end)
+      touched
+  done;
+  List.rev !failures
+
+let pp_failure ppf { round; subject; reason } =
+  let pp_subject ppf = function
+    | `Process p -> Format.fprintf ppf "p%d" p
+    | `Register r -> Format.fprintf ppf "R%d" r
+  in
+  Format.fprintf ppf "round %d, %a: %s" round pp_subject subject reason

@@ -1,0 +1,28 @@
+(** Empirical checking of the Indistinguishability Lemma (5.2).
+
+    The lemma: if (All, A)-run has infinitely many rounds then for every
+    [S ⊆ {p_0..p_{n-1}}], every process or register [X] and round [r], if
+    [UP(X, r) ⊆ S] then the (All, A)-run and (S, A)-run are indistinguishable
+    to [X] up to the end of round [r].
+
+    Concretely, for a process [p]: its control state and toss count agree —
+    observationally, the sequence of (invocation, response) pairs it executed
+    and the number of tosses it performed are identical in both runs through
+    round [r].  For a register [R]: its value agrees, and membership of its
+    Pset agrees for every process [q] with [UP(q, r) ⊆ S]. *)
+
+
+type failure = {
+  round : int;
+  subject : [ `Process of int | `Register of int ];
+  reason : string;
+}
+
+val check :
+  n:int -> all_run:'a All_run.t -> s_run:'a S_run.t -> upsets:Upsets.t -> failure list
+(** All lemma violations over every round and every process/register whose
+    UP-set is within [s_run.s].  Empty = the lemma held on this run pair
+    (which it must; a non-empty result indicates a bug in the engine or the
+    update rules, and the test suite fails on it). *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,149 @@
+open Lb_memory
+open Lb_runtime
+
+type violation = { winner : int; s : Ids.t; steppers : Ids.t; silent : Ids.t }
+
+type report = {
+  n : int;
+  terminating : bool;
+  someone_returned_one : bool;
+  winner : int option;
+  winner_ops : int;
+  max_ops : int;
+  rounds : int;
+  s_size : int;
+  lemma_5_1 : bool;
+  bound_met : bool;
+  indist_failures : Indistinguishability.failure list;
+  violation : violation option;
+}
+
+let log4 n = log (float_of_int n) /. log 4.0
+
+let ceil_log4 n =
+  let rec go r pow = if pow >= n then r else go (r + 1) (pow * 4) in
+  if n <= 0 then invalid_arg "Lower_bound.ceil_log4" else go 0 1
+
+(* First process returning 1, ordered by termination round then id. *)
+let find_winner (all_run : int All_run.t) =
+  List.fold_left
+    (fun best (pid, result) ->
+      if result <> 1 then best
+      else
+        let round = Option.value ~default:max_int (All_run.termination_round all_run ~pid) in
+        match best with
+        | Some (_, best_round) when best_round <= round -> best
+        | Some _ | None -> Some (pid, round))
+    None all_run.All_run.results
+
+let analyze ~n ~program_of ?(assignment = Coin.constant 0) ?(inits = []) ~max_rounds () =
+  let all_run = All_run.execute ~n ~program_of ~assignment ~inits ~max_rounds () in
+  let upsets = Upsets.compute ~n all_run.All_run.rounds in
+  let lemma_5_1 = Upsets.lemma_5_1_holds upsets in
+  let terminating = all_run.All_run.outcome = All_run.Terminating in
+  match find_winner all_run with
+  | None ->
+    (* Nobody returned 1 — either the algorithm genuinely returns all zeros
+       (a wakeup violation the caller can see via [someone_returned_one]),
+       or the round budget ran out first ([terminating] = false). *)
+      {
+        n;
+        terminating;
+        someone_returned_one = false;
+        winner = None;
+        winner_ops = 0;
+        max_ops = all_run.All_run.max_shared_ops;
+        rounds = All_run.num_rounds all_run;
+        s_size = 0;
+        lemma_5_1;
+        bound_met = false;
+        indist_failures = [];
+        violation = None;
+      }
+  | Some (winner, _) ->
+    let winner_ops = All_run.ops_of all_run ~pid:winner in
+    let r = min winner_ops (All_run.num_rounds all_run) in
+    let s = Upsets.of_process upsets ~r ~pid:winner in
+    let s_run = S_run.execute ~n ~program_of ~assignment ~inits ~s ~all_run ~upsets () in
+    let indist_failures = Indistinguishability.check ~n ~all_run ~s_run ~upsets in
+    let steppers = S_run.steppers s_run in
+    let silent = Ids.diff (Ids.range n) steppers in
+    let winner_returned_one_in_s_run =
+      List.exists (fun (pid, result) -> pid = winner && result = 1) s_run.S_run.results
+    in
+    let violation =
+      if winner_returned_one_in_s_run && not (Ids.is_empty silent) then
+        Some { winner; s; steppers; silent }
+      else None
+    in
+    {
+      n;
+      terminating;
+      someone_returned_one = true;
+      winner = Some winner;
+      winner_ops;
+      max_ops = all_run.All_run.max_shared_ops;
+      rounds = All_run.num_rounds all_run;
+      s_size = Ids.cardinal s;
+      lemma_5_1;
+      bound_met = winner_ops >= ceil_log4 n;
+      indist_failures;
+      violation;
+    }
+
+type expectation = {
+  samples : int;
+  terminated : int;
+  termination_rate : float;
+  mean_winner_ops : float;
+  min_winner_ops : int;
+  max_winner_ops : int;
+  mean_max_ops : float;
+  expected_bound : float;
+}
+
+let estimate ~n ~program_of ?(inits = []) ~seeds ~max_rounds () =
+  let samples = List.length seeds in
+  if samples = 0 then invalid_arg "Lower_bound.estimate: no seeds";
+  let terminated = ref 0 in
+  let sum_winner = ref 0 and sum_max = ref 0 in
+  let min_winner = ref max_int and max_winner = ref 0 in
+  List.iter
+    (fun seed ->
+      let assignment = Coin.uniform ~seed in
+      let report = analyze ~n ~program_of ~assignment ~inits ~max_rounds () in
+      if report.terminating then begin
+        incr terminated;
+        sum_winner := !sum_winner + report.winner_ops;
+        sum_max := !sum_max + report.max_ops;
+        min_winner := min !min_winner report.winner_ops;
+        max_winner := max !max_winner report.winner_ops
+      end)
+    seeds;
+  let termination_rate = float_of_int !terminated /. float_of_int samples in
+  let mean over = if !terminated = 0 then 0.0 else float_of_int over /. float_of_int !terminated in
+  {
+    samples;
+    terminated = !terminated;
+    termination_rate;
+    mean_winner_ops = mean !sum_winner;
+    min_winner_ops = (if !terminated = 0 then 0 else !min_winner);
+    max_winner_ops = !max_winner;
+    mean_max_ops = mean !sum_max;
+    expected_bound = termination_rate *. log4 n;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>n = %d, rounds = %d, terminating = %b@ winner = %s, winner_ops = %d (log4 n = %.2f, \
+     required %d)@ |S| = %d, max_ops = %d@ lemma 5.1 = %b, bound met = %b, indist failures = \
+     %d@ violation = %s@]"
+    r.n r.rounds r.terminating
+    (match r.winner with Some w -> Printf.sprintf "p%d" w | None -> "none")
+    r.winner_ops (log4 r.n) (ceil_log4 r.n) r.s_size r.max_ops r.lemma_5_1 r.bound_met
+    (List.length r.indist_failures)
+    (match r.violation with
+    | None -> "none"
+    | Some v ->
+      Printf.sprintf "p%d returned 1 while %s never took a step" v.winner
+        (Ids.to_string v.silent))

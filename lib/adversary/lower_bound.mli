@@ -1,0 +1,82 @@
+(** The Theorem 6.1 engine: adversarial analysis of wakeup algorithms.
+
+    Given an [n]-process algorithm in which every process returns 0 or 1,
+    [analyze] executes the (All, A)-run, computes UP sets, finds the process
+    [p] that returned 1 with its shared-access count [r], forms
+    [S = UP(p, r)], executes the (S, A)-run and checks the
+    indistinguishability predictions.
+
+    The paper's argument, made executable: [|S| ≤ 4^r] (Lemma 5.1).  If the
+    algorithm is a correct wakeup solution, [S] must contain all [n]
+    processes — otherwise the (S, A)-run is a concrete counterexample in
+    which [p] returns 1 while some processes never took a step — hence
+    [4^r ≥ n], i.e. [r ≥ log₄ n].  For incorrect ("cheating") algorithms
+    that return 1 after [o(log n)] operations, [analyze] returns the
+    counterexample as a {!violation}. *)
+
+open Lb_memory
+open Lb_runtime
+
+type violation = {
+  winner : int;  (** the process that returned 1 in the (S, A)-run... *)
+  s : Ids.t;  (** ...in which only processes in [S] were scheduled. *)
+  steppers : Ids.t;  (** processes that actually took a step there. *)
+  silent : Ids.t;  (** processes that never took any step — nonempty. *)
+}
+
+type report = {
+  n : int;
+  terminating : bool;  (** did the (All, A)-run terminate in budget? *)
+  someone_returned_one : bool;
+  winner : int option;  (** first process returning 1 (round, then id). *)
+  winner_ops : int;  (** its total shared-memory operations [r]. *)
+  max_ops : int;  (** [t(R)]: max shared ops over all processes. *)
+  rounds : int;
+  s_size : int;  (** [|UP(winner, r)|]. *)
+  lemma_5_1 : bool;  (** [|UP(X, k)| ≤ 4^k] held for every [k]. *)
+  bound_met : bool;  (** [4^winner_ops ≥ n], i.e. winner_ops ≥ log₄ n. *)
+  indist_failures : Indistinguishability.failure list;  (** must be []. *)
+  violation : violation option;  (** [Some _] exactly for cheaters. *)
+}
+
+val log4 : int -> float
+(** [log₄ n]. *)
+
+val ceil_log4 : int -> int
+(** Smallest [r] with [4^r ≥ n]. *)
+
+val analyze :
+  n:int ->
+  program_of:(int -> int Program.t) ->
+  ?assignment:Coin.assignment ->
+  ?inits:(int * Value.t) list ->
+  max_rounds:int ->
+  unit ->
+  report
+(** When no process returns 1 (all zeros, or the round budget ran out
+    first — distinguish via [terminating] and [someone_returned_one]), the
+    report carries [winner = None] and no violation. *)
+
+type expectation = {
+  samples : int;
+  terminated : int;  (** samples whose (All, A)-run terminated in budget. *)
+  termination_rate : float;
+  mean_winner_ops : float;  (** over terminating samples. *)
+  min_winner_ops : int;
+  max_winner_ops : int;
+  mean_max_ops : float;
+  expected_bound : float;  (** Lemma 3.1's floor: termination_rate ·log₄ n. *)
+}
+
+val estimate :
+  n:int ->
+  program_of:(int -> int Program.t) ->
+  ?inits:(int * Value.t) list ->
+  seeds:int list ->
+  max_rounds:int ->
+  unit ->
+  expectation
+(** Monte-Carlo estimate over toss assignments [Coin.uniform ~seed] — the
+    randomized / Lemma 3.1 side of the bound. *)
+
+val pp_report : Format.formatter -> report -> unit

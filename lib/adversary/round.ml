@@ -1,0 +1,51 @@
+open Lb_memory
+open Lb_secretive
+
+type event = { pid : int; invocation : Op.invocation; response : Op.response; phase : int }
+
+type 'a proc_obs = { tosses : int; ops : int; result : 'a option }
+
+type 'a t = {
+  index : int;
+  participants : int list;
+  events : event list;
+  move_spec : Move_spec.t;
+  sigma : int list;
+  procs : (int * 'a proc_obs) list;
+  regs : (int * (Value.t * Ids.t)) list;
+}
+
+let events_in_phase t phase = List.filter (fun e -> e.phase = phase) t.events
+
+let event_of t pid = List.find_opt (fun e -> e.pid = pid) t.events
+
+let successful_sc t ~reg =
+  List.find_map
+    (fun e ->
+      match e.invocation, e.response with
+      | Op.Sc (r, _), Op.Flagged (true, _) when r = reg -> Some e.pid
+      | _, _ -> None)
+    t.events
+
+let swappers t ~reg =
+  List.filter_map
+    (fun e -> match e.invocation with Op.Swap (r, _) when r = reg -> Some e.pid | _ -> None)
+    t.events
+
+let reg_state t r = List.assoc_opt r t.regs
+
+let obs t pid =
+  match List.assoc_opt pid t.procs with
+  | Some o -> o
+  | None -> invalid_arg (Printf.sprintf "Round.obs: unknown pid %d" pid)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>round %d (participants %a):" t.index
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    t.participants;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@ [ph%d] p%d: %a -> %a" e.phase e.pid Op.pp_invocation e.invocation
+        Op.pp_response e.response)
+    t.events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** The (S, A)-run (Figure 3).
+
+    Given a subset [S] of processes, the same toss assignment [A], and a
+    completed (All, A)-run with its UP table, the (S, A)-run re-executes the
+    algorithm on a {e fresh} memory where, in round [r], only the processes
+    [p] with [UP(p, r-1) ⊆ S] take steps.  Phases mirror Figure 2, except
+    the move phase is ordered by the (All, A)-run's schedule [σ_r] restricted
+    to the participating movers (well-defined by Claim A.3: the round's move
+    group here is a subset of the (All, A)-run's).
+
+    The Indistinguishability Lemma (5.2) predicts that any process or
+    register [X] with [UP(X, r) ⊆ S] cannot tell the two runs apart through
+    round [r]; {!Indistinguishability} checks exactly that. *)
+
+open Lb_memory
+open Lb_runtime
+
+type 'a t = {
+  s : Ids.t;
+  rounds : 'a Round.t list;  (** oldest first; same length as executed. *)
+  results : (int * 'a) list;  (** terminated processes, id order. *)
+}
+
+val execute :
+  n:int ->
+  program_of:(int -> 'a Program.t) ->
+  ?assignment:Coin.assignment ->
+  ?inits:(int * Value.t) list ->
+  s:Ids.t ->
+  all_run:'a All_run.t ->
+  upsets:Upsets.t ->
+  unit ->
+  'a t
+(** Execute as many rounds as the (All, A)-run has.  [program_of],
+    [assignment] and [inits] must be the same ones the (All, A)-run was
+    executed with.  Raises [Failure] if a participating process's move
+    operation falls outside the (All, A)-run's round move group (a violation
+    of Claim A.3 — impossible unless the engine itself is buggy). *)
+
+val round : 'a t -> int -> 'a Round.t
+val num_rounds : 'a t -> int
+
+val steppers : 'a t -> Ids.t
+(** All processes that performed at least one step (coin toss or
+    shared-memory operation) — used by the wakeup-violation evidence: a
+    process returning 1 while [steppers] ≠ all processes contradicts
+    condition (3) of the wakeup specification. *)

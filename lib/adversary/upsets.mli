@@ -1,0 +1,54 @@
+(** UP sets — the knowledge-tracking machinery of Section 5.3.
+
+    For an (All, A)-run, [UP(p, r)] over-approximates the set of processes
+    that [p] could know to be up (to have taken a step) by the end of round
+    [r], and [UP(R, r)] the set inferable from register [R]'s value.  The
+    sets start as [UP(p, 0) = {p}], [UP(R, 0) = ∅] and evolve by the paper's
+    update rules, driven entirely by the round records:
+
+    Registers (rules are mutually exclusive by the phase structure):
+    + a successful SC on [R] by [p]: [UP(R, r) = UP(p, r-1)];
+    + swaps on [R] (no SC can succeed after one): [UP(R, r) = UP(q, r-1)]
+      for [q] the {e last} swapper;
+    + no swap but moves into [R]: [UP(R, r)] is the union of
+      [UP(source(R, σ_r), r-1)] and [UP(q, r-1)] for each
+      [q ∈ movers(R, σ_r)];
+    + otherwise unchanged.
+
+    Processes (driven by the process's own operation in round [r]):
+    + LL/validate on [R]: join [UP(R, r-1)];
+    + move: unchanged;
+    + first swap on [R]: join [UP(R, r-1)], or — when the round moved into
+      [R] — join the source's and movers' round-[r-1] sets;
+    + later swap on [R]: join the previous swapper's [UP(·, r-1)];
+    + successful SC on [R]: join [UP(R, r-1)];
+    + unsuccessful SC on [R]: join [UP(R, r)] (the round-[r] value, since the
+      returned value may already reflect this round's successful SC);
+    + no operation: unchanged.
+
+    Lemma 5.1: with a secretive move schedule, [|UP(X, r)| <= 4^r]. *)
+
+open Lb_memory
+
+type t
+
+val compute : n:int -> 'a Round.t list -> t
+(** Fold the update rules over the rounds of an (All, A)-run (oldest
+    first). *)
+
+val rounds : t -> int
+
+val of_process : t -> r:int -> pid:int -> Ids.t
+(** [UP(p, r)] for [0 <= r <= rounds]. Raises [Invalid_argument] out of
+    range. *)
+
+val of_register : t -> r:int -> reg:int -> Ids.t
+(** [UP(R, r)]; registers never mentioned have the empty set. *)
+
+val max_size : t -> r:int -> int
+(** [max |UP(X, r)|] over all processes and registers — the quantity Lemma
+    5.1 bounds by [4^r]. *)
+
+val lemma_5_1_holds : t -> bool
+(** [max_size r <= 4^r] for every recorded round (with saturation for large
+    [r]). *)

@@ -1,0 +1,109 @@
+open Lb_memory
+open Lb_runtime
+
+type 'a event =
+  | Stepped of int * Op.invocation * Op.response
+  | Returned of int * 'a
+
+type 'a run = { events : 'a event list; results : (int * 'a) list }
+
+exception Limit_exceeded of int
+
+(* A process's exploration state: about to perform an operation, or done.
+   Leading coin tosses are resolved (with branching) by [expand]. *)
+type 'a proc = Blocked of Op.invocation * (Op.response -> 'a Program.t) | Done of 'a
+
+(* Resolve leading tosses of a program into every reachable [proc],
+   branching over the coin range.  The accompanying event list (reversed)
+   records terminations discovered during expansion. *)
+let rec expand coin_range pid program =
+  match program with
+  | Program.Return x -> [ (Done x, [ Returned (pid, x) ]) ]
+  | Program.Op (inv, k) -> [ (Blocked (inv, k), []) ]
+  | Program.Toss k ->
+    List.concat_map (fun outcome -> expand coin_range pid (k outcome)) coin_range
+
+let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000) ~f () =
+  if coin_range = [] then invalid_arg "Explore.iter: empty coin range";
+  let count = ref 0 in
+  let memory0 = Pure_memory.create ~inits () in
+  (* [procs] is a persistent map pid -> proc so branches share state. *)
+  let module Pmap = Map.Make (Int) in
+  let emit procs events =
+    incr count;
+    if !count > max_runs then raise (Limit_exceeded max_runs);
+    let results =
+      Pmap.bindings procs
+      |> List.map (fun (pid, p) ->
+             match p with
+             | Done x -> (pid, x)
+             | Blocked _ -> assert false)
+    in
+    f { events = List.rev events; results }
+  in
+  let rec go memory procs events =
+    let runnable =
+      Pmap.fold
+        (fun pid p acc -> match p with Blocked _ -> pid :: acc | Done _ -> acc)
+        procs []
+    in
+    match runnable with
+    | [] -> emit procs events
+    | _ :: _ ->
+      List.iter
+        (fun pid ->
+          match Pmap.find pid procs with
+          | Done _ -> assert false
+          | Blocked (inv, k) ->
+            let response, memory' = Pure_memory.apply memory ~pid inv in
+            let stepped = Stepped (pid, inv, response) in
+            List.iter
+              (fun (proc', expand_events) ->
+                go memory' (Pmap.add pid proc' procs) (expand_events @ (stepped :: events)))
+              (expand coin_range pid (k response)))
+        (List.rev runnable)
+  in
+  (* Initial expansion of every process (cartesian product over processes). *)
+  let rec init pid procs events =
+    if pid = n then go memory0 procs events
+    else
+      List.iter
+        (fun (proc, expand_events) ->
+          init (pid + 1) (Pmap.add pid proc procs) (expand_events @ events))
+        (expand coin_range pid (program_of pid))
+  in
+  init 0 Pmap.empty [];
+  !count
+
+exception Found
+
+let for_all ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
+  try
+    ignore
+      (iter ~n ~program_of ?inits ?coin_range ?max_runs
+         ~f:(fun run -> if not (f run) then raise Found)
+         ());
+    true
+  with Found -> false
+
+let exists ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
+  not (for_all ~n ~program_of ?inits ?coin_range ?max_runs ~f:(fun run -> not (f run)) ())
+
+let steppers_before_first_one run =
+  let rec go stepped = function
+    | [] -> None
+    | Returned (_, 1) :: _ -> Some stepped
+    | Returned (_, _) :: rest -> go stepped rest
+    | Stepped (pid, _, _) :: rest -> go (Ids.add pid stepped) rest
+  in
+  go Ids.empty run.events
+
+let wakeup_ok ~n run =
+  let returns_ok = List.for_all (fun (_, v) -> v = 0 || v = 1) run.results in
+  let somebody = List.exists (fun (_, v) -> v = 1) run.results in
+  let cond3 =
+    match steppers_before_first_one run with
+    | None -> true
+    | Some stepped -> Ids.equal stepped (Ids.range n)
+  in
+  returns_ok && somebody && cond3

@@ -1,0 +1,78 @@
+(** Exhaustive interleaving exploration — a stateless model checker.
+
+    The paper's adversary is one particular scheduler; this module checks
+    algorithm properties against {e all} schedulers, by depth-first
+    enumeration of every interleaving of shared-memory operations (and every
+    combination of coin outcomes from a finite range).  Feasible for small
+    systems — the run count is multinomial in the step counts — so it
+    complements the randomized schedule tests with exhaustive certainty at
+    small n.
+
+    Local coin tosses are resolved eagerly when a process is about to be
+    scheduled (branching over [coin_range]); they are not separately
+    interleaved, which is sound for all properties that depend only on
+    shared-memory interaction and termination values. *)
+
+open Lb_memory
+open Lb_runtime
+
+type 'a event =
+  | Stepped of int * Op.invocation * Op.response
+      (** a process performed a shared-memory operation. *)
+  | Returned of int * 'a  (** a process terminated with a result. *)
+
+type 'a run = {
+  events : 'a event list;  (** in execution order. *)
+  results : (int * 'a) list;  (** id order; complete (every process returned). *)
+}
+
+exception Limit_exceeded of int
+(** Raised when the run count would exceed [max_runs] — exploration is only
+    meaningful when it is exhaustive, so truncation is an error, not a
+    partial answer. *)
+
+val iter :
+  n:int ->
+  program_of:(int -> 'a Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?max_runs:int ->
+  f:('a run -> unit) ->
+  unit ->
+  int
+(** Enumerate every terminating run; call [f] on each; return the count.
+    [coin_range] defaults to [[0]] (deterministic algorithms); [max_runs]
+    defaults to 200_000.  All programs must terminate on every schedule —
+    a non-terminating branch diverges (use bounded programs). *)
+
+val for_all :
+  n:int ->
+  program_of:(int -> 'a Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?max_runs:int ->
+  f:('a run -> bool) ->
+  unit ->
+  bool
+
+val exists :
+  n:int ->
+  program_of:(int -> 'a Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?max_runs:int ->
+  f:('a run -> bool) ->
+  unit ->
+  bool
+
+(** {1 Derived run predicates} *)
+
+val steppers_before_first_one : int run -> Ids.t option
+(** For wakeup condition 3: the set of processes that had performed at least
+    one shared-memory operation strictly before the first [Returned (_, 1)]
+    event; [None] when nobody returns 1. *)
+
+val wakeup_ok : n:int -> int run -> bool
+(** All three wakeup conditions on one run (condition 3 in the
+    shared-op-step interpretation above, the one relevant to all corpus
+    algorithms). *)

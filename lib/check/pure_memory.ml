@@ -1,0 +1,41 @@
+open Lb_memory
+
+module Regs = Map.Make (Int)
+
+type t = { default : Value.t; regs : (Value.t * Ids.t) Regs.t }
+
+let create ?(default = Value.Unit) ~inits () =
+  {
+    default;
+    regs =
+      List.fold_left (fun regs (r, v) -> Regs.add r (v, Ids.empty) regs) Regs.empty inits;
+  }
+
+let state t r =
+  if r < 0 then invalid_arg (Printf.sprintf "Pure_memory: negative register index %d" r);
+  Option.value ~default:(t.default, Ids.empty) (Regs.find_opt r t.regs)
+
+let peek t r = fst (state t r)
+let pset t r = snd (state t r)
+
+let set t r st = { t with regs = Regs.add r st t.regs }
+
+let apply t ~pid inv =
+  match inv with
+  | Op.Ll r ->
+    let v, ps = state t r in
+    (Op.Value v, set t r (v, Ids.add pid ps))
+  | Op.Sc (r, nv) ->
+    let v, ps = state t r in
+    if Ids.mem pid ps then (Op.Flagged (true, v), set t r (nv, Ids.empty))
+    else (Op.Flagged (false, v), t)
+  | Op.Validate r ->
+    let v, ps = state t r in
+    (Op.Flagged (Ids.mem pid ps, v), t)
+  | Op.Swap (r, nv) ->
+    let v, _ = state t r in
+    (Op.Value v, set t r (nv, Ids.empty))
+  | Op.Move (src, dst) ->
+    if src = dst then invalid_arg (Printf.sprintf "Pure_memory: move with equal registers R%d" src);
+    let v, _ = state t src in
+    (Op.Ack, set t dst (v, Ids.empty))

@@ -1,0 +1,19 @@
+(** Immutable shared memory, for exhaustive exploration.
+
+    Same semantics as {!Lb_memory.Memory}, but [apply] returns a new memory
+    instead of mutating — so the model checker can branch on every
+    interleaving without copying or undo logs (persistent maps share
+    structure between branches). *)
+
+open Lb_memory
+
+type t
+
+val create : ?default:Value.t -> inits:(int * Value.t) list -> unit -> t
+
+val apply : t -> pid:int -> Op.invocation -> Op.response * t
+(** Raises [Invalid_argument] on negative registers or self-moves, like the
+    mutable memory. *)
+
+val peek : t -> int -> Value.t
+val pset : t -> int -> Ids.t

@@ -1,0 +1,100 @@
+(** Facade: one module exposing the whole reproduction.
+
+    The library reproduces Jayanti's PODC 1998 lower bound: any
+    implementation of fetch&increment, fetch&and/or/complement/multiply,
+    queue, stack or read+increment from LL/SC/validate/move/swap shared
+    memory has worst-case (expected) shared-access time Ω(log n) — and the
+    bound is tight for oblivious universal constructions.
+
+    Layering, bottom-up:
+    - {!Value}, {!Bitvec}, {!Ids}, {!Op}, {!Register}, {!Memory}, {!Layout}:
+      the shared-memory model of Section 3;
+    - {!Coin}, {!Program}, {!Process}, {!System}, {!Scheduler}: algorithms as
+      schedulable step machines;
+    - {!Move_spec}, {!Source_movers}, {!Secretive}: Section 4's secretive
+      complete schedules;
+    - {!Round}, {!All_run}, {!S_run}, {!Upsets}, {!Indistinguishability},
+      {!Lower_bound}: the Section 5 adversary and the Theorem 6.1 analysis;
+    - {!Spec}, {!Counters}, {!Bitwise}, {!Containers}, {!Misc_types},
+      {!Atomic}, {!History}: object types and linearizability;
+    - {!Iface}, {!Adt_tree}, {!Herlihy}, {!Direct}, {!Harness},
+      {!Complexity}: universal constructions and their measurement;
+    - {!Problem}, {!Reductions}, {!Direct_algorithms}, {!Randomized},
+      {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus. *)
+
+(* Shared-memory model *)
+module Value = Lb_memory.Value
+module Bitvec = Lb_memory.Bitvec
+module Ids = Lb_memory.Ids
+module Op = Lb_memory.Op
+module Register = Lb_memory.Register
+module Memory = Lb_memory.Memory
+module Layout = Lb_memory.Layout
+module Profile = Lb_memory.Profile
+
+(* Runtime *)
+module Coin = Lb_runtime.Coin
+module Program = Lb_runtime.Program
+module Process = Lb_runtime.Process
+module System = Lb_runtime.System
+module Scheduler = Lb_runtime.Scheduler
+
+(* Secretive schedules (Section 4) *)
+module Move_spec = Lb_secretive.Move_spec
+module Source_movers = Lb_secretive.Source_movers
+module Secretive = Lb_secretive.Secretive
+
+(* Adversary (Section 5) and the lower bound (Section 6) *)
+module Round = Lb_adversary.Round
+module All_run = Lb_adversary.All_run
+module S_run = Lb_adversary.S_run
+module Upsets = Lb_adversary.Upsets
+module Indistinguishability = Lb_adversary.Indistinguishability
+module Claims = Lb_adversary.Claims
+module Lower_bound = Lb_adversary.Lower_bound
+
+(* Object types *)
+module Spec = Lb_objects.Spec
+module Counters = Lb_objects.Counters
+module Bitwise = Lb_objects.Bitwise
+module Containers = Lb_objects.Containers
+module Misc_types = Lb_objects.Misc_types
+module Atomic = Lb_objects.Atomic
+module History = Lb_objects.History
+
+(* Universal constructions *)
+module Iface = Lb_universal.Iface
+module Codec = Lb_universal.Codec
+module Adt_tree = Lb_universal.Adt_tree
+module Herlihy = Lb_universal.Herlihy
+module Consensus_list = Lb_universal.Consensus_list
+module Direct = Lb_universal.Direct
+module Harness = Lb_universal.Harness
+module Complexity = Lb_universal.Complexity
+
+(* Exhaustive checking *)
+module Pure_memory = Lb_check.Pure_memory
+module Explore = Lb_check.Explore
+
+(* Extensions (Section 7) *)
+module Rmw = Lb_extensions.Rmw
+
+(* Wakeup *)
+module Problem = Lb_wakeup.Problem
+module Reductions = Lb_wakeup.Reductions
+module Direct_algorithms = Lb_wakeup.Direct_algorithms
+module Randomized = Lb_wakeup.Randomized
+module Cheaters = Lb_wakeup.Cheaters
+module Corpus = Lb_wakeup.Corpus
+
+(** Analyze a corpus entry at [n] processes under the Theorem 6.1 adversary
+    with the deterministic toss assignment. *)
+let analyze_entry (entry : Corpus.entry) ~n ~max_rounds =
+  let program_of, inits = entry.Corpus.make ~n in
+  Lower_bound.analyze ~n ~program_of ~inits ~max_rounds ()
+
+(** Analyze under a seeded uniform toss assignment (for randomized
+    algorithms). *)
+let analyze_entry_seeded (entry : Corpus.entry) ~n ~seed ~max_rounds =
+  let program_of, inits = entry.Corpus.make ~n in
+  Lower_bound.analyze ~n ~program_of ~inits ~assignment:(Coin.uniform ~seed) ~max_rounds ()

@@ -1,0 +1,52 @@
+type series = { label : string; mark : char; points : (int * int) list }
+
+let render ?(width = 64) ?(height = 16) series =
+  let xs =
+    List.concat_map (fun s -> List.map fst s.points) series
+    |> List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) []
+  in
+  if xs = [] then invalid_arg "Chart.render: no points";
+  let max_y =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc (_, y) -> max acc y) acc s.points)
+      1 series
+  in
+  let columns = List.length xs in
+  let col_of_x x =
+    let rec index i = function
+      | [] -> assert false
+      | x' :: rest -> if x = x' then i else index (i + 1) rest
+    in
+    if columns = 1 then 0 else index 0 xs * (width - 1) / (columns - 1)
+  in
+  let row_of_y y = (height - 1) - (y * (height - 1) / max_y) in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          let row = row_of_y y and col = col_of_x x in
+          grid.(row).(col) <- (if grid.(row).(col) = ' ' then s.mark else '#'))
+        s.points)
+    series;
+  let buf = Buffer.create ((height + 4) * (width + 12)) in
+  Array.iteri
+    (fun row line ->
+      (* y-axis label on the top and bottom rows. *)
+      let label =
+        if row = 0 then Printf.sprintf "%6d |" max_y
+        else if row = height - 1 then Printf.sprintf "%6d |" 0
+        else "       |"
+      in
+      Buffer.add_string buf label;
+      Array.iter (Buffer.add_char buf) line;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("       +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "        n = %s (log-spaced columns)\n"
+       (String.concat ", " (List.map string_of_int xs)));
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "        %c = %s\n" s.mark s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Plain-text line charts for the benchmark output.
+
+    The paper has no figures, but its complexity claims are shapes — flat,
+    logarithmic, linear — and a shape is easiest to check by looking at it.
+    [render] plots one or more integer series over a shared x-axis (process
+    counts) on a character grid, one mark per series. *)
+
+type series = { label : string; mark : char; points : (int * int) list }
+
+val render : ?width:int -> ?height:int -> series list -> string
+(** Columns are the union of x values in input order (typically a doubling
+    sweep, i.e. log-x); the y axis is linear from 0 to the max value.
+    Overlapping points print ['#'].  Includes a legend line per series.
+    Raises [Invalid_argument] on an empty chart. *)

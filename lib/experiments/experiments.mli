@@ -1,0 +1,60 @@
+(** The experiment suite: every lemma/theorem of the paper as a measurable,
+    pass/fail table.
+
+    The paper (pure theory, PODC 1998) has no numbered tables or figures;
+    its "evaluation" is the chain of results below, each of which this
+    module turns into an executable experiment.  `EXPERIMENTS.md` records
+    the paper-claim-vs-measured comparison these tables produce.
+
+    - E1 (Lemma 4.1): every move spec admits a secretive complete schedule
+      (max movers chain ≤ 2) — over adversarial topologies and random specs.
+    - E2 (Lemma 4.2): scheduling only a register's movers (plus arbitrary
+      extras) moves the same source value in.
+    - E3 (Lemma 5.1): |UP(X, r)| ≤ 4^r along (All, A)-runs of the corpus.
+    - E4 (Lemma 5.2): (All, A)- and (S, A)-runs are indistinguishable to
+      every X with UP(X, r) ⊆ S.
+    - E5 (Theorem 6.1): the adversary forces every correct wakeup algorithm
+      to ≥ ⌈log₄ n⌉ shared operations; cheaters are caught with a concrete
+      violating (S, A)-run.
+    - E6 (Theorem 6.2 / Corollary 6.1): the per-object-type reductions,
+      compiled through both oblivious universal constructions.
+    - E7 (tightness): measured worst-case shared-access cost of the
+      combining tree is Θ(log n) vs. the Herlihy baseline's Θ(n).
+    - E8 (Lemma 3.1): worst-case expected complexity of the randomized
+      algorithms ≥ (termination rate)·log₄ n.
+    - E9 (non-oblivious escape): compare&swap from LL/SC in ≤ 2 operations
+      at every n.
+    - E10 (sandwich): wakeup via the tree-backed fetch&increment lands
+      between ⌈log₄ n⌉ and 8⌈log₂ n⌉ + 9.
+    - E11 (ablation): the lock-free retry-loop fetch&increment degrades
+      linearly under contention — why wait-free helping matters.
+    - E12 (Section 7): with RMW(R, f) and unbounded registers, wakeup (and
+      every object) costs one shared operation — the bound is specific to
+      the LL/SC/validate/move/swap repertoire.
+    - E13 (register sizes): the oblivious constructions pay for O(log n)
+      time with registers that grow with n; the semantic CAS does not.
+    - E14 (related work [17, 18, 25]): the consensus-cell universal
+      construction measures Theta(n) per operation. *)
+
+val e1 : ?ns:int list -> unit -> Table.t
+val e2 : ?specs:int -> unit -> Table.t
+val e3 : ?ns:int list -> unit -> Table.t
+val e4 : ?ns:int list -> ?seeds:int list -> unit -> Table.t
+val e5 : ?ns:int list -> unit -> Table.t
+val e6 : ?ns:int list -> unit -> Table.t
+val e7 : ?ns:int list -> unit -> Table.t
+val e8 : ?n:int -> ?seeds:int list -> unit -> Table.t
+val e9 : ?ns:int list -> unit -> Table.t
+val e10 : ?ns:int list -> unit -> Table.t
+val e11 : ?ns:int list -> unit -> Table.t
+val e12 : ?ns:int list -> unit -> Table.t
+val e13 : ?ns:int list -> unit -> Table.t
+val e14 : ?ns:int list -> unit -> Table.t
+
+val all : quick:bool -> Table.t list
+(** Every experiment; [quick] shrinks the sweeps (used by the test suite). *)
+
+val by_id : string -> (unit -> Table.t) option
+(** Lookup by id ("e1" .. "e14", case-insensitive), full-size parameters. *)
+
+val ids : string list

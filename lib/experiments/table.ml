@@ -1,0 +1,34 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+  pass : bool;
+}
+
+let cell_int = string_of_int
+let cell_float f = Printf.sprintf "%.2f" f
+let cell_bool = string_of_bool
+
+let pp ppf t =
+  let all_rows = t.header :: t.rows in
+  let columns = List.length t.header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all_rows
+  in
+  let widths = List.init columns width in
+  let pp_row ppf row =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Format.pp_print_string ppf " | ";
+        Format.fprintf ppf "%-*s" (List.nth widths c) cell)
+      row
+  in
+  let rule = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  Format.fprintf ppf "@[<v>== %s: %s [%s]@ %a@ %s" t.id t.title
+    (if t.pass then "PASS" else "FAIL")
+    pp_row t.header rule;
+  List.iter (fun row -> Format.fprintf ppf "@ %a" pp_row row) t.rows;
+  List.iter (fun note -> Format.fprintf ppf "@ note: %s" note) t.notes;
+  Format.fprintf ppf "@]"

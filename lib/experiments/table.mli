@@ -1,0 +1,17 @@
+(** Plain-text result tables for the experiment harness. *)
+
+type t = {
+  id : string;  (** e.g. "E5". *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** paper-claim vs. measurement commentary. *)
+  pass : bool;  (** did every row satisfy its acceptance criterion? *)
+}
+
+val pp : Format.formatter -> t -> unit
+(** Aligned columns, a PASS/FAIL banner, and the notes. *)
+
+val cell_int : int -> string
+val cell_float : float -> string
+val cell_bool : bool -> string

@@ -1,0 +1,71 @@
+open Lb_memory
+
+module Mem = struct
+  type t = {
+    regs : (int, Value.t) Hashtbl.t;
+    counts : (int, int) Hashtbl.t;
+  }
+
+  let create () = { regs = Hashtbl.create 16; counts = Hashtbl.create 16 }
+  let set_init t r v = Hashtbl.replace t.regs r v
+  let peek t r = Option.value ~default:Value.Unit (Hashtbl.find_opt t.regs r)
+
+  let rmw t ~pid ~reg f =
+    let old = peek t reg in
+    Hashtbl.replace t.regs reg (f old);
+    Hashtbl.replace t.counts pid (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts pid));
+    old
+
+  let ops_of t ~pid = Option.value ~default:0 (Hashtbl.find_opt t.counts pid)
+  let max_ops t = Hashtbl.fold (fun _ c acc -> max acc c) t.counts 0
+end
+
+module Prog = struct
+  type 'a t = Return of 'a | Rmw of int * (Value.t -> Value.t) * (Value.t -> 'a t)
+
+  let return x = Return x
+  let rmw reg f = Rmw (reg, f, fun old -> Return old)
+
+  let rec bind m f =
+    match m with
+    | Return x -> f x
+    | Rmw (reg, g, k) -> Rmw (reg, g, fun old -> bind (k old) f)
+end
+
+type handle = { reg : int; spec : Lb_objects.Spec.t }
+
+let create ~reg spec = { reg; spec }
+let init h = h.spec.Lb_objects.Spec.init
+
+let apply h ~op =
+  Prog.bind
+    (Prog.rmw h.reg (fun state -> fst (h.spec.Lb_objects.Spec.apply state op)))
+    (fun old -> Prog.return (snd (h.spec.Lb_objects.Spec.apply old op)))
+
+let run_system ~n ~program_of ~inits ~schedule =
+  let memory = Mem.create () in
+  List.iter (fun (r, v) -> Mem.set_init memory r v) inits;
+  let programs = Array.init n program_of in
+  List.iter
+    (fun pid ->
+      if pid < 0 || pid >= n then invalid_arg (Printf.sprintf "Rmw.run_system: pid %d" pid);
+      match programs.(pid) with
+      | Prog.Return _ -> ()
+      | Prog.Rmw (reg, f, k) -> programs.(pid) <- k (Mem.rmw memory ~pid ~reg f))
+    schedule;
+  let results =
+    Array.to_list programs
+    |> List.mapi (fun pid p -> (pid, p))
+    |> List.filter_map (fun (pid, p) ->
+           match p with Prog.Return x -> Some (pid, x) | Prog.Rmw _ -> None)
+  in
+  if List.length results < n then failwith "Rmw.run_system: schedule left processes unfinished";
+  (memory, results)
+
+let wakeup ~n ~reg =
+  let program_of _pid =
+    Prog.bind
+      (Prog.rmw reg (fun v -> Value.Int (Value.to_int v + 1)))
+      (fun old -> Prog.return (if Value.to_int old = n - 1 then 1 else 0))
+  in
+  (program_of, [ (reg, Value.Int 0) ])

@@ -1,0 +1,78 @@
+(** The Section-7 thought experiment: RMW(R, f) shared memory.
+
+    The paper closes with: "Consider the RMW(R, f) operation which takes any
+    computable function f as an argument, changes the state of shared
+    register R from its current value v to f(v), and returns v.  If
+    shared-memory supports such an operation and has registers of unbounded
+    size, it is easy to see that every object has a wait-free implementation
+    of unit worst-case shared-access time complexity."  Whether any
+    non-constant lower bound survives for "reasonable" operation sets is the
+    paper's open problem.
+
+    This module makes the observation executable: an RMW memory, a program
+    representation over it, and the one-operation universal construction —
+    the register holds the whole object state, one RMW applies the
+    operation, and the response is computed locally from the returned old
+    state.  Experiment E12 measures: wakeup (hence every Theorem 6.2 object)
+    costs exactly one shared operation per process at every n, so the
+    Ω(log n) bound is specific to the LL/SC/validate/move/swap repertoire. *)
+
+open Lb_memory
+
+(** {1 Memory} *)
+
+module Mem : sig
+  type t
+
+  val create : unit -> t
+  val set_init : t -> int -> Value.t -> unit
+
+  val rmw : t -> pid:int -> reg:int -> (Value.t -> Value.t) -> Value.t
+  (** Atomically replace the register's value [v] with [f v]; return [v];
+      count one shared-memory operation for [pid]. *)
+
+  val peek : t -> int -> Value.t
+  val ops_of : t -> pid:int -> int
+  val max_ops : t -> int
+end
+
+(** {1 Programs over RMW memory} *)
+
+module Prog : sig
+  type 'a t = Return of 'a | Rmw of int * (Value.t -> Value.t) * (Value.t -> 'a t)
+
+  val return : 'a -> 'a t
+  val rmw : int -> (Value.t -> Value.t) -> Value.t t
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+end
+
+(** {1 The unit-cost universal construction} *)
+
+type handle
+
+val create : reg:int -> Lb_objects.Spec.t -> handle
+(** The object lives wholly in register [reg] (install [init] with
+    {!Mem.set_init} before running). *)
+
+val init : handle -> Value.t
+val apply : handle -> op:Value.t -> Value.t Prog.t
+(** One shared operation: RMW the new state in; derive the response from the
+    returned old state via the {e same} sequential specification (local
+    computation). *)
+
+(** {1 Execution} *)
+
+val run_system :
+  n:int ->
+  program_of:(int -> 'a Prog.t) ->
+  inits:(int * Value.t) list ->
+  schedule:int list ->
+  Mem.t * (int * 'a) list
+(** Execute with an explicit schedule (pids may repeat; entries for
+    terminated processes are skipped); returns the memory and the
+    terminated processes' results.  Raises [Failure] if the schedule leaves
+    someone unfinished. *)
+
+val wakeup : n:int -> reg:int -> (int -> int Prog.t) * (int * Value.t) list
+(** The one-operation wakeup algorithm: RMW-increment a counter; return 1
+    iff the old value was [n - 1]. *)

@@ -1,0 +1,14 @@
+include Set.Make (Int)
+
+let range n =
+  let rec go acc i = if i < 0 then acc else go (add i acc) (i - 1) in
+  go empty (n - 1)
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf i -> Format.fprintf ppf "p%d" i))
+    (elements s)
+
+let to_string s = Format.asprintf "%a" pp s

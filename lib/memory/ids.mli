@@ -1,0 +1,16 @@
+(** Sets of process identifiers.
+
+    Process ids are the integers [0 .. n-1].  These sets appear in two roles:
+    as the [Pset] component of every shared register (the set of processes
+    whose LL link is still valid) and as the UP-sets of the
+    indistinguishability argument. *)
+
+include Set.S with type elt = int
+
+val range : int -> t
+(** [range n] is [{0, 1, ..., n-1}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{p0, p3, p7}]. *)
+
+val to_string : t -> string

@@ -1,0 +1,89 @@
+type event = { pid : int; invocation : Op.invocation; response : Op.response }
+
+type t = {
+  regs : (int, Register.t) Hashtbl.t;
+  default : Value.t;
+  counts : (int, int) Hashtbl.t; (* pid -> #shared ops *)
+  mutable total : int;
+  log_enabled : bool;
+  mutable log : event list; (* newest first *)
+}
+
+let create ?(default = Value.Unit) ?(log = false) () =
+  { regs = Hashtbl.create 64; default; counts = Hashtbl.create 16; total = 0; log_enabled = log; log = [] }
+
+let register m r =
+  if r < 0 then invalid_arg (Printf.sprintf "Memory: negative register index %d" r);
+  match Hashtbl.find_opt m.regs r with
+  | Some reg -> reg
+  | None ->
+    let reg = Register.create m.default in
+    Hashtbl.add m.regs r reg;
+    reg
+
+let set_init m r v = Register.write (register m r) v
+
+let count m pid =
+  m.total <- m.total + 1;
+  let c = Option.value ~default:0 (Hashtbl.find_opt m.counts pid) in
+  Hashtbl.replace m.counts pid (c + 1)
+
+let apply m ~pid invocation =
+  let response =
+    match invocation with
+    | Op.Ll r ->
+      let reg = register m r in
+      Register.link reg pid;
+      Op.Value (Register.value reg)
+    | Op.Sc (r, v) ->
+      let reg = register m r in
+      let old = Register.value reg in
+      if Register.linked reg pid then begin
+        Register.write reg v;
+        Op.Flagged (true, old)
+      end
+      else Op.Flagged (false, old)
+    | Op.Validate r ->
+      let reg = register m r in
+      Op.Flagged (Register.linked reg pid, Register.value reg)
+    | Op.Swap (r, v) ->
+      let reg = register m r in
+      let old = Register.value reg in
+      Register.write reg v;
+      Op.Value old
+    | Op.Move (src, dst) ->
+      if src = dst then
+        invalid_arg (Printf.sprintf "Memory: move with equal registers R%d" src);
+      let sv = Register.value (register m src) in
+      Register.write (register m dst) sv;
+      Op.Ack
+  in
+  count m pid;
+  if m.log_enabled then m.log <- { pid; invocation; response } :: m.log;
+  response
+
+let peek m r =
+  match Hashtbl.find_opt m.regs r with
+  | Some reg -> Register.value reg
+  | None -> m.default
+
+let pset m r =
+  match Hashtbl.find_opt m.regs r with
+  | Some reg -> Register.pset reg
+  | None -> Ids.empty
+
+let touched m = Hashtbl.fold (fun r _ acc -> r :: acc) m.regs [] |> List.sort Int.compare
+
+let snapshot m =
+  touched m |> List.map (fun r -> (r, (peek m r, pset m r)))
+
+let largest_value_size m =
+  Hashtbl.fold (fun _ reg acc -> max acc (Value.size (Register.value reg))) m.regs 0
+
+let ops_of m ~pid = Option.value ~default:0 (Hashtbl.find_opt m.counts pid)
+let total_ops m = m.total
+let max_ops m = Hashtbl.fold (fun _ c acc -> max acc c) m.counts 0
+let events m = List.rev m.log
+
+let pp_event ppf { pid; invocation; response } =
+  Format.fprintf ppf "p%d: %a -> %a" pid Op.pp_invocation invocation Op.pp_response response

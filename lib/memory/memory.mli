@@ -1,0 +1,72 @@
+(** The shared memory.
+
+    An "infinite" array of registers [R0, R1, ...] (materialised lazily) that
+    supports the five operations of the model, with per-process shared-access
+    accounting — the quantity the paper's lower bound is about — and an
+    optional event log.
+
+    Semantics (Section 3), where [u] is the register's value and [A] its Pset
+    before the operation, applied by process [p]:
+    - [LL(R)]: Pset becomes [A ∪ {p}]; returns [u].
+    - [SC(R, v)]: if [p ∈ A], value becomes [v], Pset becomes [∅], returns
+      [(true, u)]; otherwise returns [(false, u)] and changes nothing.
+    - [validate(R)]: returns [(p ∈ A, u)]; changes nothing.
+    - [swap(R, v)]: value becomes [v], Pset becomes [∅], returns [u].
+    - [move(Rs, Rd)]: value of [Rd] becomes value of [Rs], Pset of [Rd]
+      becomes [∅], returns [ack]; [Rs] (value and Pset) is unchanged.
+      [Rs] and [Rd] must be distinct (see {!Lb_secretive.Move_spec.of_list}
+      for why the model excludes self-moves); [apply] raises
+      [Invalid_argument] otherwise. *)
+
+type t
+
+type event = { pid : int; invocation : Op.invocation; response : Op.response }
+
+val create : ?default:Value.t -> ?log:bool -> unit -> t
+(** Fresh memory.  Registers that have never been written read as [default]
+    (default [Value.Unit]).  When [log] is true (default false) every applied
+    operation is recorded in order. *)
+
+val set_init : t -> int -> Value.t -> unit
+(** [set_init m r v] initialises register [r] to [v] without counting an
+    operation or clearing anything — for setting up the initial
+    configuration (e.g. a queue that "initially contains n items"). *)
+
+val apply : t -> pid:int -> Op.invocation -> Op.response
+(** Apply one operation on behalf of process [pid], count it, and return the
+    response. *)
+
+(** {1 Observer access} — none of these count as shared-memory operations;
+    they exist for schedulers, run records and tests. *)
+
+val peek : t -> int -> Value.t
+(** Current value of a register. *)
+
+val pset : t -> int -> Ids.t
+(** Current Pset of a register. *)
+
+val touched : t -> int list
+(** Sorted indices of registers that were ever materialised (initialised or
+    operated on). *)
+
+val snapshot : t -> (int * (Value.t * Ids.t)) list
+(** State of all touched registers, sorted by index. *)
+
+val largest_value_size : t -> int
+(** Max [Value.size] over touched registers — how big registers grew. *)
+
+(** {1 Accounting} *)
+
+val ops_of : t -> pid:int -> int
+(** Number of shared-memory operations process [pid] has applied. *)
+
+val total_ops : t -> int
+
+val max_ops : t -> int
+(** [max] over processes of [ops_of] — the paper's [t(R)] for the run so
+    far. *)
+
+val events : t -> event list
+(** The log, oldest first.  Empty when logging is disabled. *)
+
+val pp_event : Format.formatter -> event -> unit

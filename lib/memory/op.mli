@@ -1,0 +1,50 @@
+(** Shared-memory operations.
+
+    The five operation types of the paper's model (Section 3): LL, SC,
+    validate, swap and (register-to-register) move.  The paper strengthens
+    the usual definitions: SC and validate return the register's previous /
+    current value alongside the boolean, and swap returns the previous value.
+    There is no separate read — [validate] subsumes it. *)
+
+type invocation =
+  | Ll of int  (** [Ll r]: link-load register [r]. *)
+  | Sc of int * Value.t  (** [Sc (r, v)]: store-conditional [v] into [r]. *)
+  | Validate of int  (** [Validate r]: test the link, return current value. *)
+  | Swap of int * Value.t  (** [Swap (r, v)]: write [v], return old value. *)
+  | Move of int * int
+      (** [Move (src, dst)]: copy [value src] into [dst]; [src] unchanged. *)
+
+type response =
+  | Value of Value.t  (** Response of LL and swap. *)
+  | Flagged of bool * Value.t  (** Response of SC and validate. *)
+  | Ack  (** Response of move. *)
+
+(** Adversary phase classification (Figure 2 partitions pending operations
+    into the LL/validate group, the move group, the swap group and the SC
+    group). *)
+type kind = Read | Move_kind | Swap_kind | Sc_kind
+
+val kind : invocation -> kind
+
+val registers : invocation -> int list
+(** Registers named by the invocation ([Move] names two, in (src, dst)
+    order). *)
+
+val target : invocation -> int
+(** The register whose state the operation can change (for [Move] this is the
+    destination; for [Ll]/[Validate] the named register). *)
+
+val equal_invocation : invocation -> invocation -> bool
+val equal_response : response -> response -> bool
+
+val pp_invocation : Format.formatter -> invocation -> unit
+val pp_response : Format.formatter -> response -> unit
+val pp_kind : Format.formatter -> kind -> unit
+
+(** {1 Response accessors} — raise [Invalid_argument] on shape mismatch. *)
+
+val value_of : response -> Value.t
+(** The value carried by the response. [Ack] carries none and raises. *)
+
+val flag_of : response -> bool
+(** The boolean of a [Flagged] response. *)

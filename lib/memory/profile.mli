@@ -1,0 +1,37 @@
+(** Access profiles from the memory event log.
+
+    With logging enabled ({!Memory.create} [~log:true]) every applied
+    operation is recorded; this module condenses the log into the
+    contention statistics a systems reader expects next to the
+    shared-access counts: per-operation-kind totals, SC success rate, and
+    the per-register access distribution (the paper's adversary works
+    precisely by steering all processes onto the registers where
+    invalidation hurts most). *)
+
+type register_stats = {
+  reg : int;
+  accesses : int;
+  ll : int;
+  sc_success : int;
+  sc_fail : int;
+  validates : int;
+  swaps : int;
+  moves_in : int;
+  moves_out : int;
+}
+
+type t = {
+  total : int;
+  per_kind : (Op.kind * int) list;  (** all four kinds, fixed order. *)
+  sc_success_rate : float;  (** successful SCs / all SCs; 1.0 if no SC. *)
+  registers : register_stats list;  (** sorted by [accesses], descending. *)
+  hottest : int option;  (** register with the most accesses. *)
+  distinct_processes : int;
+}
+
+val of_events : Memory.event list -> t
+val of_memory : Memory.t -> t
+(** [of_events (Memory.events m)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary with a top-registers table. *)

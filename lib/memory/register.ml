@@ -1,0 +1,15 @@
+type t = { mutable value : Value.t; mutable pset : Ids.t }
+
+let create value = { value; pset = Ids.empty }
+let value r = r.value
+let pset r = r.pset
+let link r p = r.pset <- Ids.add p r.pset
+let linked r p = Ids.mem p r.pset
+
+let write r v =
+  r.value <- v;
+  r.pset <- Ids.empty
+
+let copy r = { value = r.value; pset = r.pset }
+
+let pp ppf r = Format.fprintf ppf "{value = %a; Pset = %a}" Value.pp r.value Ids.pp r.pset

@@ -1,0 +1,29 @@
+(** A single shared register.
+
+    Per the paper's model, a register's state is a pair: [value] (its
+    contents) and [Pset] (the set of processes whose most recent LL on this
+    register has not been invalidated by a successful SC, a swap or a move
+    into the register). *)
+
+type t
+
+val create : Value.t -> t
+(** Fresh register with the given initial value and an empty Pset. *)
+
+val value : t -> Value.t
+val pset : t -> Ids.t
+
+val link : t -> int -> unit
+(** [link r p] adds [p] to the Pset (the effect of LL). *)
+
+val linked : t -> int -> bool
+(** [linked r p] is [Ids.mem p (pset r)]. *)
+
+val write : t -> Value.t -> unit
+(** [write r v] sets the value to [v] and clears the Pset (the common effect
+    of a successful SC, a swap, and a move into [r]). *)
+
+val copy : t -> t
+(** Independent copy — used for register snapshots in run records. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+open Lb_memory
+
+type t = { spec : Spec.t; mutable state : Value.t; mutable applied : int }
+
+let create spec = { spec; state = spec.Spec.init; applied = 0 }
+let spec t = t.spec
+let state t = t.state
+
+let apply t op =
+  let state', response = t.spec.Spec.apply t.state op in
+  t.state <- state';
+  t.applied <- t.applied + 1;
+  response
+
+let applied t = t.applied

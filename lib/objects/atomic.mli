@@ -1,0 +1,22 @@
+(** A live atomic (linearizable-by-construction) object instance.
+
+    This is the sequential oracle: operations apply instantaneously in the
+    order they arrive.  Corollary 6.1's hypothesis speaks of processes
+    communicating "via a single linearizable object O of type T" — the
+    object-level wakeup algorithms of Theorem 6.2 are validated against this
+    oracle before being compiled onto shared memory through a universal
+    construction. *)
+
+open Lb_memory
+
+type t
+
+val create : Spec.t -> t
+val spec : t -> Spec.t
+val state : t -> Value.t
+
+val apply : t -> Value.t -> Value.t
+(** Apply one operation atomically, returning its response. *)
+
+val applied : t -> int
+(** Number of operations applied so far. *)

@@ -1,0 +1,36 @@
+open Lb_memory
+
+let to_vector ~bits op =
+  match op with
+  | Value.Bits v ->
+    if Bitvec.width v <> bits then
+      invalid_arg
+        (Printf.sprintf "Bitwise: operand width %d does not match object width %d"
+           (Bitvec.width v) bits)
+    else v
+  | Value.Int n -> Bitvec.of_int ~width:bits n
+  | _ -> invalid_arg "Bitwise: operand must be Bits or Int"
+
+let binary name ~bits ~init f =
+  {
+    Spec.name = Printf.sprintf "%s[%d]" name bits;
+    init = Value.Bits init;
+    apply =
+      (fun state op ->
+        let s = Value.to_bits state in
+        (Value.Bits (f s (to_vector ~bits op)), state));
+  }
+
+let fetch_and ~bits = binary "fetch&and" ~bits ~init:(Bitvec.ones bits) Bitvec.logand
+let fetch_or ~bits = binary "fetch&or" ~bits ~init:(Bitvec.zero bits) Bitvec.logor
+let fetch_multiply ~bits = binary "fetch&multiply" ~bits ~init:(Bitvec.one bits) Bitvec.mul
+
+let fetch_complement ~bits =
+  {
+    Spec.name = Printf.sprintf "fetch&complement[%d]" bits;
+    init = Value.Bits (Bitvec.zero bits);
+    apply =
+      (fun state op ->
+        let s = Value.to_bits state in
+        (Value.Bits (Bitvec.complement_bit s (Value.to_int op)), state));
+  }

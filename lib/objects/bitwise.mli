@@ -1,0 +1,22 @@
+(** Wide bitwise object types (Theorem 6.2, item 2).
+
+    The paper needs [k]-bit objects with [k >= n], so states are
+    [Value.Bits] of the given width.  Operations that take a vector argument
+    accept either [Value.Bits] (of matching width) or [Value.Int] (encoded
+    into the width). *)
+
+
+val fetch_and : bits:int -> Spec.t
+(** Operation [v]: state becomes [state AND v]; returns the previous state.
+    Initial state: all ones (as the wakeup reduction requires). *)
+
+val fetch_or : bits:int -> Spec.t
+(** Initial state: all zeroes; state becomes [state OR v]. *)
+
+val fetch_complement : bits:int -> Spec.t
+(** Operation [Value.Int i]: complements bit [i] (0-indexed); returns the
+    previous state.  Initial state: all zeroes. *)
+
+val fetch_multiply : bits:int -> Spec.t
+(** Operation [v]: state becomes [state * v mod 2^bits]; returns the previous
+    state.  Initial state: 1. *)

@@ -1,0 +1,46 @@
+open Lb_memory
+
+let op_enq v = Value.Pair (Value.Str "enq", v)
+let op_deq = Value.Str "deq"
+let op_push v = Value.Pair (Value.Str "push", v)
+let op_pop = Value.Str "pop"
+
+let queue =
+  {
+    Spec.name = "queue";
+    init = Value.List [];
+    apply =
+      (fun state op ->
+        let items = Value.to_list state in
+        match op with
+        | Value.Pair (Value.Str "enq", v) -> (Value.List (items @ [ v ]), Value.Unit)
+        | Value.Str "deq" -> (
+          match items with
+          | [] -> (state, Value.Str "empty")
+          | front :: rest -> (Value.List rest, front))
+        | _ -> invalid_arg "queue: operation must be enq or deq");
+  }
+
+let stack =
+  {
+    Spec.name = "stack";
+    init = Value.List [];
+    apply =
+      (fun state op ->
+        let items = Value.to_list state in
+        match op with
+        | Value.Pair (Value.Str "push", v) -> (Value.List (v :: items), Value.Unit)
+        | Value.Str "pop" -> (
+          match items with
+          | [] -> (state, Value.Str "empty")
+          | top :: rest -> (Value.List rest, top))
+        | _ -> invalid_arg "stack: operation must be push or pop");
+  }
+
+let items n = List.init n (fun i -> Value.Int (i + 1))
+
+let queue_with_items n = Spec.with_init queue (Value.List (items n))
+
+(* Stack top must be popped n-th to reveal "everyone is up": put n deepest.
+   Top-first representation with 1 on top, n at the bottom. *)
+let stack_with_items n = Spec.with_init stack (Value.List (items n))

@@ -1,0 +1,31 @@
+(** Queue and stack object types (Theorem 6.2, item 3).
+
+    Queue state is [Value.List] with the {e front} first; stack state is
+    [Value.List] with the {e top} first. *)
+
+open Lb_memory
+
+val queue : Spec.t
+(** Operations: [Value.Pair (Str "enq", v)] appends [v] at the rear and
+    returns [Unit]; [Value.Str "deq"] removes and returns the front element,
+    or returns [Str "empty"] on the empty queue. *)
+
+val stack : Spec.t
+(** Operations: [Value.Pair (Str "push", v)] pushes [v]; [Value.Str "pop"]
+    removes and returns the top, or [Str "empty"]. *)
+
+val op_enq : Value.t -> Value.t
+val op_deq : Value.t
+val op_push : Value.t -> Value.t
+val op_pop : Value.t
+
+val queue_with_items : int -> Spec.t
+(** [queue_with_items n] initially contains [Int 1, ..., Int n] with [n] at
+    the rear — the initial configuration of the paper's dequeue-based wakeup
+    algorithm. *)
+
+val stack_with_items : int -> Spec.t
+(** [stack_with_items n] initially contains [Int 1, ..., Int n] with [1] on
+    top and [n] at the bottom: since each process pops exactly once, whoever
+    pops [n] is the [n]-th popper and learns everyone is up.  (The stack
+    variant of the paper's dequeue construction.) *)

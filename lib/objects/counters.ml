@@ -1,0 +1,43 @@
+open Lb_memory
+
+let mask bits =
+  if bits < 1 || bits > 62 then
+    invalid_arg (Printf.sprintf "Counters: bits = %d outside [1, 62]" bits);
+  (1 lsl bits) - 1
+
+let fetch_inc ~bits =
+  let m = mask bits in
+  {
+    Spec.name = Printf.sprintf "fetch&inc[%d]" bits;
+    init = Value.Int 0;
+    apply =
+      (fun state op ->
+        match op with
+        | Value.Unit -> (Value.Int ((Value.to_int state + 1) land m), state)
+        | _ -> invalid_arg "fetch&inc: operation must be Unit");
+  }
+
+let fetch_add ~bits =
+  let m = mask bits in
+  {
+    Spec.name = Printf.sprintf "fetch&add[%d]" bits;
+    init = Value.Int 0;
+    apply =
+      (fun state op -> (Value.Int ((Value.to_int state + Value.to_int op) land m), state));
+  }
+
+let op_inc = Value.Str "inc"
+let op_read = Value.Str "read"
+
+let read_inc ~bits =
+  let m = mask bits in
+  {
+    Spec.name = Printf.sprintf "read+inc[%d]" bits;
+    init = Value.Int 0;
+    apply =
+      (fun state op ->
+        match op with
+        | Value.Str "inc" -> (Value.Int ((Value.to_int state + 1) land m), Value.Unit)
+        | Value.Str "read" -> (state, state)
+        | _ -> invalid_arg "read+inc: operation must be \"inc\" or \"read\"");
+  }

@@ -1,0 +1,23 @@
+(** Counter-like object types (Theorem 6.2, items 1 and 4).
+
+    States are [Value.Int] with wrap-around modulo [2^bits]; [bits] is the
+    paper's [k] and must satisfy [1 <= bits <= 62] (the lower-bound
+    experiments only need [k >= log n]; the genuinely wide objects live in
+    {!Bitwise}). *)
+
+open Lb_memory
+
+val fetch_inc : bits:int -> Spec.t
+(** Operation [Value.Unit]: add 1, return the previous state. *)
+
+val fetch_add : bits:int -> Spec.t
+(** Operation [Value.Int v]: add [v], return the previous state. *)
+
+val read_inc : bits:int -> Spec.t
+(** Two operations: [Value.Str "inc"] adds 1 and returns [Value.Unit] (just
+    an acknowledgement — this is why the wakeup reduction needs {e two}
+    operations and the bound drops to ½·log₄ n); [Value.Str "read"] returns
+    the state. *)
+
+val op_inc : Value.t
+val op_read : Value.t

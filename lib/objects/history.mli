@@ -1,0 +1,33 @@
+(** Concurrent histories and linearizability checking.
+
+    A history is a set of completed operations, each with its operation
+    value, its response, and the (global, totally ordered) times at which it
+    was invoked and at which it responded.  The history is {e linearizable}
+    w.r.t. a sequential specification if there is a total order of the
+    operations that (a) respects real time — if [e] responded before [f] was
+    invoked, [e] precedes [f] — and (b) is a legal sequential execution of
+    the specification producing exactly the recorded responses.
+
+    The checker is the classical Wing–Gong search with memoisation on
+    (object state, set of remaining operations); worst-case exponential but
+    fast on the harness's histories. *)
+
+open Lb_memory
+
+type entry = {
+  pid : int;
+  op : Value.t;
+  response : Value.t;
+  invoked : int;  (** global time of the invocation. *)
+  responded : int;  (** global time of the response; [>= invoked]. *)
+}
+
+val entry :
+  pid:int -> op:Value.t -> response:Value.t -> invoked:int -> responded:int -> entry
+
+val linearization : Spec.t -> entry list -> entry list option
+(** A witness order if the history is linearizable, [None] otherwise. *)
+
+val is_linearizable : Spec.t -> entry list -> bool
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,73 @@
+open Lb_memory
+
+let swap_object ~init =
+  {
+    Spec.name = "swap-object";
+    init;
+    apply = (fun state op -> (op, state));
+  }
+
+let op_test_set = Value.Str "test&set"
+let op_reset = Value.Str "reset"
+
+let test_and_set =
+  {
+    Spec.name = "test&set";
+    init = Value.Bool false;
+    apply =
+      (fun state op ->
+        match op with
+        | Value.Str "test&set" -> (Value.Bool true, state)
+        | Value.Str "reset" -> (Value.Bool false, Value.Unit)
+        | _ -> invalid_arg "test&set: operation must be \"test&set\" or \"reset\"");
+  }
+
+let op_cas ~expected ~new_ = Value.Pair (expected, new_)
+
+let compare_and_swap ~init =
+  {
+    Spec.name = "compare&swap";
+    init;
+    apply =
+      (fun state op ->
+        let expected, new_ = Value.to_pair op in
+        if Value.equal state expected then (new_, Value.Pair (Value.Bool true, state))
+        else (state, Value.Pair (Value.Bool false, state)));
+  }
+
+let op_propose v = Value.Pair (Value.Str "propose", v)
+
+let op_update ~segment v = Value.Pair (Value.Str "update", Value.Pair (Value.Int segment, v))
+let op_scan = Value.Str "scan"
+
+let snapshot ~n =
+  if n <= 0 then invalid_arg "Misc_types.snapshot: n must be positive";
+  {
+    Spec.name = Printf.sprintf "snapshot[%d]" n;
+    init = Value.List (List.init n (fun _ -> Value.Unit));
+    apply =
+      (fun state op ->
+        match op with
+        | Value.Pair (Value.Str "update", Value.Pair (Value.Int segment, v)) ->
+          if segment < 0 || segment >= n then
+            invalid_arg (Printf.sprintf "snapshot: segment %d out of range" segment);
+          let segments =
+            List.mapi (fun i old -> if i = segment then v else old) (Value.to_list state)
+          in
+          (Value.List segments, Value.Unit)
+        | Value.Str "scan" -> (state, state)
+        | _ -> invalid_arg "snapshot: operation must be update or scan");
+  }
+
+(* Undecided = empty list; decided v = [v]. *)
+let consensus =
+  {
+    Spec.name = "consensus";
+    init = Value.List [];
+    apply =
+      (fun state op ->
+        match op, Value.to_list state with
+        | Value.Pair (Value.Str "propose", v), [] -> (Value.List [ v ], v)
+        | Value.Pair (Value.Str "propose", _), [ decided ] -> (state, decided)
+        | _ -> invalid_arg "consensus: operation must be a proposal");
+  }

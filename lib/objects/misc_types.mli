@@ -1,0 +1,38 @@
+(** Further object types: swap, test&set, compare&swap, consensus.
+
+    These appear in the paper's related-work and open-problems discussion
+    (Cypher's swap-object bound, the constant-time compare&swap construction
+    from LL/SC, consensus-based universal constructions) and round out the
+    type zoo for the universal-construction experiments. *)
+
+open Lb_memory
+
+val swap_object : init:Value.t -> Spec.t
+(** Operation [v]: state becomes [v]; returns the previous state. *)
+
+val test_and_set : Spec.t
+(** State is [Bool]; operation [Str "test&set"] sets it and returns the
+    previous value; [Str "reset"] clears it and returns [Unit]. *)
+
+val compare_and_swap : init:Value.t -> Spec.t
+(** Operation [Pair (expected, new_)]: if the state equals [expected] it
+    becomes [new_]; the response is [Pair (Bool succeeded, previous)]. *)
+
+val consensus : Spec.t
+(** Operation [Pair (Str "propose", v)]: the first proposal decides;
+    every proposal returns the decided value. *)
+
+val snapshot : n:int -> Spec.t
+(** An [n]-segment atomic snapshot object (the paper's Section 1 lists
+    snapshot implementations among the known constant-time LL/SC
+    constructions).  State: a list of [n] segment values, initially [Unit].
+    Operations: [op_update ~segment v] overwrites one segment and returns
+    [Unit]; [op_scan] returns the whole segment list atomically. *)
+
+val op_update : segment:int -> Value.t -> Value.t
+val op_scan : Value.t
+
+val op_test_set : Value.t
+val op_reset : Value.t
+val op_cas : expected:Value.t -> new_:Value.t -> Value.t
+val op_propose : Value.t -> Value.t

@@ -1,0 +1,19 @@
+open Lb_memory
+
+type t = {
+  name : string;
+  init : Value.t;
+  apply : Value.t -> Value.t -> Value.t * Value.t;
+}
+
+let with_init t init = { t with init }
+
+let run_sequential t ops =
+  let state, rev_responses =
+    List.fold_left
+      (fun (state, acc) op ->
+        let state', response = t.apply state op in
+        (state', response :: acc))
+      (t.init, []) ops
+  in
+  (List.rev rev_responses, state)

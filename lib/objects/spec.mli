@@ -1,0 +1,28 @@
+(** Sequential specifications of object types.
+
+    A type [T] is given by an initial state and a deterministic transition
+    function [apply : state -> operation -> state * response], all over
+    {!Lb_memory.Value.t}.  Universal constructions take a [Spec.t] and treat
+    [apply] as a black box — which is exactly the paper's notion of an
+    {e oblivious} universal construction: it cannot exploit the semantics of
+    the type it is instantiated with. *)
+
+open Lb_memory
+
+type t = {
+  name : string;
+  init : Value.t;
+  apply : Value.t -> Value.t -> Value.t * Value.t;
+      (** [apply state op = (state', response)].  Must be pure and total on
+          the operations the type supports; may raise [Invalid_argument] on
+          malformed operations (a harness bug, not a data condition). *)
+}
+
+val with_init : t -> Value.t -> t
+(** Same type, different initial state (e.g. a queue initially containing
+    [n] items, as Theorem 6.2 requires). *)
+
+val run_sequential : t -> Value.t list -> Value.t list * Value.t
+(** Apply the operations in order from the initial state; returns the
+    responses and the final state — the reference for linearizability
+    checking and for differential tests of the universal constructions. *)

@@ -1,0 +1,24 @@
+type assignment = pid:int -> idx:int -> int
+
+let constant k ~pid:_ ~idx:_ = k
+let of_fun f ~pid ~idx = f pid idx
+
+(* Splitmix64-style finaliser over the packed inputs; cheap, stateless and
+   well distributed, which is all the experiments need. *)
+let hash ~seed ~pid ~idx =
+  let open Int64 in
+  let mix z =
+    let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    logxor z (shift_right_logical z 31)
+  in
+  let z = mix (add (of_int seed) 0x9e3779b97f4a7c15L) in
+  let z = mix (add z (mul (of_int (pid + 1)) 0xd1342543de82ef95L)) in
+  let z = mix (add z (mul (of_int (idx + 1)) 0x2545f4914f6cdd1dL)) in
+  to_int (shift_right_logical z 2)
+
+let uniform ~seed ~pid ~idx = hash ~seed ~pid ~idx
+
+let bounded ~bound assignment =
+  if bound <= 0 then invalid_arg "Coin.bounded: bound must be positive";
+  fun ~pid ~idx -> assignment ~pid ~idx mod bound

@@ -1,0 +1,31 @@
+(** Coin tosses and toss assignments.
+
+    The model's local step is "toss a coin, obtain an element of COIN-RANGE".
+    We fix COIN-RANGE = non-negative [int]; algorithms that need a smaller
+    range reduce modulo their bound.
+
+    A {e toss assignment} is the paper's [A : (p_i, j) -> COIN-RANGE]: a
+    deterministic function giving the outcome of the [j]-th toss (0-indexed
+    here) of process [p_i].  Fixing [A] makes randomized runs replayable —
+    both the (All, A)-run and the (S, A)-run consume the {e same}
+    assignment, which is the crux of the indistinguishability argument. *)
+
+type assignment = pid:int -> idx:int -> int
+(** Total function; must be pure (the same (pid, idx) always yields the same
+    outcome). *)
+
+val constant : int -> assignment
+(** Every toss yields the given outcome (degenerate / deterministic case). *)
+
+val of_fun : (int -> int -> int) -> assignment
+(** [of_fun f] tosses as [f pid idx]. *)
+
+val hash : seed:int -> pid:int -> idx:int -> int
+(** Splitmix-style avalanche hash of (seed, pid, idx); non-negative. *)
+
+val uniform : seed:int -> assignment
+(** Pseudo-random assignment: outcome of toss [(pid, idx)] is
+    [hash ~seed ~pid ~idx]. *)
+
+val bounded : bound:int -> assignment -> assignment
+(** Reduce every outcome modulo [bound] ([bound > 0]). *)

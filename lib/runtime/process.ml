@@ -1,0 +1,69 @@
+open Lb_memory
+
+type 'a status = Running | Terminated of 'a
+
+type 'a step_record = { invocation : Op.invocation; response : Op.response; round : int }
+
+type 'a t = {
+  id : int;
+  mutable program : 'a Program.t;
+  mutable status : 'a status;
+  mutable num_tosses : int;
+  mutable shared_ops : int;
+  mutable history : 'a step_record list; (* newest first *)
+  mutable tosses : int list; (* newest first *)
+}
+
+let create ~id program =
+  let status = match program with Program.Return x -> Terminated x | Program.Toss _ | Program.Op _ -> Running in
+  { id; program; status; num_tosses = 0; shared_ops = 0; history = []; tosses = [] }
+
+let id p = p.id
+let status p = p.status
+let is_terminated p = match p.status with Terminated _ -> true | Running -> false
+let num_tosses p = p.num_tosses
+let shared_ops p = p.shared_ops
+let history p = List.rev p.history
+let tosses p = List.rev p.tosses
+
+let rec advance_local p assignment =
+  match p.program with
+  | Program.Return x -> p.status <- Terminated x
+  | Program.Op _ -> ()
+  | Program.Toss k ->
+    let outcome = assignment ~pid:p.id ~idx:p.num_tosses in
+    p.num_tosses <- p.num_tosses + 1;
+    p.tosses <- outcome :: p.tosses;
+    p.program <- k outcome;
+    advance_local p assignment
+
+let pending_op p = Program.pending_op p.program
+
+let exec_op p memory ~round =
+  match p.program with
+  | Program.Op (invocation, k) ->
+    let response = Memory.apply memory ~pid:p.id invocation in
+    p.shared_ops <- p.shared_ops + 1;
+    p.history <- { invocation; response; round } :: p.history;
+    p.program <- k response;
+    (match p.program with
+    | Program.Return x -> p.status <- Terminated x
+    | Program.Toss _ | Program.Op _ -> ());
+    (invocation, response)
+  | Program.Return _ | Program.Toss _ ->
+    invalid_arg (Printf.sprintf "Process.exec_op: p%d has no pending operation" p.id)
+
+let run_solo p memory assignment ~fuel =
+  let rec go remaining =
+    advance_local p assignment;
+    match p.status with
+    | Terminated x -> x
+    | Running ->
+      if remaining = 0 then
+        failwith (Printf.sprintf "Process.run_solo: p%d did not finish within fuel" p.id)
+      else begin
+        ignore (exec_op p memory ~round:(-1));
+        go (remaining - 1)
+      end
+  in
+  go fuel

@@ -1,0 +1,52 @@
+(** A running process: a program plus its observable execution record.
+
+    "Observable" is the data the paper's indistinguishability relation
+    quantifies over: the process's control state (here: its full history of
+    operation/response pairs, which determines the continuation of a fixed
+    program), the number of coin tosses it has performed, and its
+    termination status. *)
+
+open Lb_memory
+
+type 'a status = Running | Terminated of 'a
+
+type 'a step_record = { invocation : Op.invocation; response : Op.response; round : int }
+(** One shared-memory step; [round] is scheduler-supplied metadata (-1 for
+    schedulers without rounds). *)
+
+type 'a t
+
+val create : id:int -> 'a Program.t -> 'a t
+val id : 'a t -> int
+val status : 'a t -> 'a status
+val is_terminated : 'a t -> bool
+
+val num_tosses : 'a t -> int
+(** Coin tosses performed so far — the paper's [numtosses]. *)
+
+val shared_ops : 'a t -> int
+(** Shared-memory operations performed so far — the paper's [t(p, R)]. *)
+
+val history : 'a t -> 'a step_record list
+(** All shared-memory steps, oldest first. *)
+
+val tosses : 'a t -> int list
+(** All toss outcomes, oldest first. *)
+
+val advance_local : 'a t -> Coin.assignment -> unit
+(** Phase-1 driver: perform coin tosses (outcomes from the assignment,
+    indexed by this process's running toss count) until the process has
+    terminated or is blocked on a shared-memory operation. *)
+
+val pending_op : 'a t -> Op.invocation option
+(** The operation the process will perform next, if it is blocked on one.
+    Call after {!advance_local}. *)
+
+val exec_op : 'a t -> Memory.t -> round:int -> Op.invocation * Op.response
+(** Execute the pending operation against the memory, record it, and resume
+    the program.  Raises [Invalid_argument] if the process is not blocked on
+    a shared-memory operation. *)
+
+val run_solo : 'a t -> Memory.t -> Coin.assignment -> fuel:int -> 'a
+(** Run the process alone to completion (for sequential tests); raises
+    [Failure] if [fuel] shared-memory steps do not suffice. *)

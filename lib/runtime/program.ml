@@ -1,0 +1,112 @@
+open Lb_memory
+
+type 'a t =
+  | Return of 'a
+  | Toss of (int -> 'a t)
+  | Op of Op.invocation * (Op.response -> 'a t)
+
+let return x = Return x
+
+let rec bind m f =
+  match m with
+  | Return x -> f x
+  | Toss k -> Toss (fun o -> bind (k o) f)
+  | Op (inv, k) -> Op (inv, fun resp -> bind (k resp) f)
+
+let map f m = bind m (fun x -> Return (f x))
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+open Syntax
+
+(* Each primitive decodes the response shape its operation is defined to
+   produce; a mismatch is a simulator bug, hence assert. *)
+
+let ll r =
+  Op
+    ( Op.Ll r,
+      function
+      | Op.Value v -> Return v
+      | Op.Flagged _ | Op.Ack -> assert false )
+
+let sc r v =
+  Op
+    ( Op.Sc (r, v),
+      function
+      | Op.Flagged (f, u) -> Return (f, u)
+      | Op.Value _ | Op.Ack -> assert false )
+
+let sc_flag r v =
+  let+ f, _ = sc r v in
+  f
+
+let validate r =
+  Op
+    ( Op.Validate r,
+      function
+      | Op.Flagged (f, u) -> Return (f, u)
+      | Op.Value _ | Op.Ack -> assert false )
+
+let read r =
+  let+ _, v = validate r in
+  v
+
+let swap r v =
+  Op
+    ( Op.Swap (r, v),
+      function
+      | Op.Value u -> Return u
+      | Op.Flagged _ | Op.Ack -> assert false )
+
+let move ~src ~dst =
+  if src = dst then invalid_arg "Program.move: source and destination must differ";
+  Op
+    ( Op.Move (src, dst),
+      function
+      | Op.Ack -> Return ()
+      | Op.Value _ | Op.Flagged _ -> assert false )
+
+let toss = Toss (fun o -> Return o)
+
+let toss_bounded b =
+  if b <= 0 then invalid_arg "Program.toss_bounded: bound must be positive";
+  Toss (fun o -> Return (o mod b))
+
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: rest ->
+    let* () = f x in
+    iter_list f rest
+
+let rec fold_list f acc = function
+  | [] -> return acc
+  | x :: rest ->
+    let* acc = f acc x in
+    fold_list f acc rest
+
+let map_list f xs =
+  let* rev =
+    fold_list
+      (fun acc x ->
+        let+ y = f x in
+        y :: acc)
+      [] xs
+  in
+  return (List.rev rev)
+
+let retry_until body ~max_attempts =
+  if max_attempts <= 0 then invalid_arg "Program.retry_until: max_attempts must be positive";
+  let rec go attempt =
+    if attempt > max_attempts then
+      failwith (Printf.sprintf "Program.retry_until: %d attempts exhausted" max_attempts)
+    else
+      let* outcome = body () in
+      match outcome with Some x -> return x | None -> go (attempt + 1)
+  in
+  go 1
+
+let is_done = function Return _ -> true | Toss _ | Op _ -> false
+let pending_op = function Op (inv, _) -> Some inv | Return _ | Toss _ -> None

@@ -1,0 +1,30 @@
+type choice = step:int -> runnable:int list -> int option
+
+let round_robin ~step ~runnable =
+  match runnable with
+  | [] -> None
+  | _ :: _ -> Some (List.nth runnable (step mod List.length runnable))
+
+let random ~seed ~step ~runnable =
+  match runnable with
+  | [] -> None
+  | _ :: _ ->
+    let k = Coin.hash ~seed ~pid:0 ~idx:step mod List.length runnable in
+    Some (List.nth runnable k)
+
+let crash ~dead choice ~step ~runnable =
+  let alive = List.filter (fun pid -> not (Lb_memory.Ids.mem pid dead)) runnable in
+  match alive with [] -> None | _ :: _ -> choice ~step ~runnable:alive
+
+let fixed sequence =
+  let remaining = ref sequence in
+  fun ~step:_ ~runnable ->
+    (* Drop entries until one is runnable; consume it. *)
+    let rec go () =
+      match !remaining with
+      | [] -> None
+      | pid :: rest ->
+        remaining := rest;
+        if List.mem pid runnable then Some pid else go ()
+    in
+    go ()

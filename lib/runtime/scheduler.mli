@@ -1,0 +1,27 @@
+(** Generic (non-adversarial) schedulers.
+
+    The paper's formal scheduler maps each finite run to the process taking
+    the next step.  For the generic executor we use the simpler decision
+    interface below; the paper's specific adversary (Figure 2) has its own
+    round/phase structure and lives in [lb_adversary].
+
+    A [choice] picks the next process given the global step index and the
+    set of runnable (non-terminated, non-crashed) processes; [None] stalls
+    the run (used to model crash failures of all remaining processes). *)
+
+type choice = step:int -> runnable:int list -> int option
+
+val round_robin : choice
+(** Cycles over the runnable processes in id order. *)
+
+val random : seed:int -> choice
+(** Uniform pseudo-random choice, deterministic in [seed]. *)
+
+val crash : dead:Lb_memory.Ids.t -> choice -> choice
+(** [crash ~dead c] never schedules processes in [dead] (they take no steps
+    at all — a crash-from-the-start failure pattern); defers to [c] for the
+    rest and stalls when only dead processes remain. *)
+
+val fixed : int list -> choice
+(** Plays the given pid sequence, then stalls.  Skips entries that are no
+    longer runnable. *)

@@ -1,0 +1,65 @@
+open Lb_memory
+
+type 'a t = {
+  memory : Memory.t;
+  processes : 'a Process.t array;
+  assignment : Coin.assignment;
+}
+
+let create ?memory ?(assignment = Coin.constant 0) ~n program_of =
+  if n <= 0 then invalid_arg "System.create: n must be positive";
+  let memory = match memory with Some m -> m | None -> Memory.create () in
+  { memory; processes = Array.init n (fun i -> Process.create ~id:i (program_of i)); assignment }
+
+let n t = Array.length t.processes
+let memory t = t.memory
+
+let process t pid =
+  if pid < 0 || pid >= Array.length t.processes then
+    invalid_arg (Printf.sprintf "System.process: pid %d out of range" pid);
+  t.processes.(pid)
+
+let processes t = t.processes
+
+let runnable t =
+  Array.to_list t.processes
+  |> List.filter_map (fun p ->
+         Process.advance_local p t.assignment;
+         if Process.is_terminated p then None else Some (Process.id p))
+
+let step t ~pid =
+  let p = process t pid in
+  Process.advance_local p t.assignment;
+  if not (Process.is_terminated p) then ignore (Process.exec_op p t.memory ~round:(-1))
+
+type outcome = All_terminated | Out_of_fuel | Stalled
+
+let run t choice ~fuel =
+  let rec go step_index remaining =
+    match runnable t with
+    | [] -> All_terminated
+    | runnable_pids ->
+      if remaining = 0 then Out_of_fuel
+      else (
+        match choice ~step:step_index ~runnable:runnable_pids with
+        | None -> Stalled
+        | Some pid ->
+          step t ~pid;
+          go (step_index + 1) (remaining - 1))
+  in
+  go 0 fuel
+
+let results t =
+  Array.map
+    (fun p -> match Process.status p with Process.Terminated x -> Some x | Process.Running -> None)
+    t.processes
+
+let result_exn t pid =
+  match Process.status (process t pid) with
+  | Process.Terminated x -> x
+  | Process.Running -> invalid_arg (Printf.sprintf "System.result_exn: p%d still running" pid)
+
+let pp_outcome ppf = function
+  | All_terminated -> Format.pp_print_string ppf "all terminated"
+  | Out_of_fuel -> Format.pp_print_string ppf "out of fuel"
+  | Stalled -> Format.pp_print_string ppf "stalled"

@@ -1,0 +1,47 @@
+(** A system: [n] processes sharing one memory, driven by a scheduler.
+
+    This is the generic, step-granularity executor used by tests, the
+    linearizability harness, and the examples.  The paper's round-based
+    adversary has a dedicated executor in [lb_adversary]. *)
+
+open Lb_memory
+
+type 'a t
+
+val create :
+  ?memory:Memory.t ->
+  ?assignment:Coin.assignment ->
+  n:int ->
+  (int -> 'a Program.t) ->
+  'a t
+(** [create ~n program_of] builds processes [p0 .. p(n-1)], process [i]
+    running [program_of i].  Default memory is fresh and unlogged; the
+    default assignment is [Coin.constant 0]. *)
+
+val n : 'a t -> int
+val memory : 'a t -> Memory.t
+val process : 'a t -> int -> 'a Process.t
+val processes : 'a t -> 'a Process.t array
+
+val runnable : 'a t -> int list
+(** Pids of processes that have not terminated, in id order.  Each process is
+    first advanced through its local coin tosses, so every listed process has
+    a pending shared-memory operation. *)
+
+val step : 'a t -> pid:int -> unit
+(** Advance the process through local tosses and execute its next
+    shared-memory operation.  No-op if it terminated during the tosses. *)
+
+type outcome = All_terminated | Out_of_fuel | Stalled
+
+val run : 'a t -> Scheduler.choice -> fuel:int -> outcome
+(** Drive the system until every process terminates, the scheduler stalls,
+    or [fuel] shared-memory steps have been executed. *)
+
+val results : 'a t -> 'a option array
+(** Per-process results; [None] for processes still running. *)
+
+val result_exn : 'a t -> int -> 'a
+(** Result of a terminated process; raises [Invalid_argument] otherwise. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,36 @@
+type t = (int * (int * int)) list (* sorted by pid, no duplicates *)
+
+let of_list entries =
+  List.iter
+    (fun (p, (src, dst)) ->
+      if src = dst then
+        invalid_arg
+          (Printf.sprintf "Move_spec.of_list: p%d has self-move R%d->R%d" p src dst))
+    entries;
+  let sorted = List.sort (fun (p, _) (q, _) -> Int.compare p q) entries in
+  let rec check = function
+    | (p, _) :: ((q, _) :: _ as rest) ->
+      if p = q then invalid_arg (Printf.sprintf "Move_spec.of_list: duplicate process p%d" p)
+      else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let empty = []
+let procs t = List.map fst t
+let size = List.length
+let mem t p = List.mem_assoc p t
+let op_of t p = List.assoc p t
+
+let uniq_sorted xs = List.sort_uniq Int.compare xs
+let sources t = uniq_sorted (List.map (fun (_, (src, _)) -> src) t)
+let destinations t = uniq_sorted (List.map (fun (_, (_, dst)) -> dst) t)
+let restrict t ~keep = List.filter (fun (p, _) -> keep p) t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 1>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (p, (src, dst)) -> Format.fprintf ppf "p%d: R%d->R%d" p src dst))
+    t

@@ -1,0 +1,38 @@
+(** Move specifications — the paper's pairs [(S, f)].
+
+    [S] is the set of processes that each have one pending move operation and
+    [f p = (src, dst)] says process [p]'s operation is [move(src, dst)]. *)
+
+type t
+
+val of_list : (int * (int * int)) list -> t
+(** [of_list [(p, (src, dst)); ...]].  Raises [Invalid_argument] on duplicate
+    process ids or on a self-move ([src = dst]).
+
+    Self-moves are excluded from the model: under the paper's inductive
+    [movers] definition a self-move keeps the register's source but appends
+    a mover, so three self-moves into one register yield a three-process
+    movers chain under {e every} schedule, contradicting Lemma 4.1 — the
+    paper's construction implicitly assumes the two registers of a move are
+    distinct.  (A self-move is a no-op on the value anyway.) *)
+
+val empty : t
+val procs : t -> int list
+(** The set [S], sorted by id. *)
+
+val size : t -> int
+val mem : t -> int -> bool
+
+val op_of : t -> int -> int * int
+(** [(src, dst)] of the given process; raises [Not_found] if absent. *)
+
+val sources : t -> int list
+(** Sorted, deduplicated source registers. *)
+
+val destinations : t -> int list
+(** Sorted, deduplicated destination registers. *)
+
+val restrict : t -> keep:(int -> bool) -> t
+(** Sub-specification keeping only processes satisfying [keep]. *)
+
+val pp : Format.formatter -> t -> unit

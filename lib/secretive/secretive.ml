@@ -1,0 +1,44 @@
+let build spec =
+  let state = Source_movers.start spec in
+  let scheduled = Hashtbl.create 16 in
+  (* Unscheduled processes grouped by destination register. *)
+  let by_dest = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let _, dst = Move_spec.op_of spec p in
+      let group = Option.value ~default:[] (Hashtbl.find_opt by_dest dst) in
+      Hashtbl.replace by_dest dst (p :: group))
+    (Move_spec.procs spec);
+  let schedule p =
+    Source_movers.append state p;
+    Hashtbl.replace scheduled p ()
+  in
+  (* Stage 1: one pass in id order; freshness is monotone so no revisiting is
+     needed. *)
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem scheduled p) then begin
+        let src, dst = Move_spec.op_of spec p in
+        if Source_movers.movers_len state src = 0 then begin
+          let group = Option.value ~default:[] (Hashtbl.find_opt by_dest dst) in
+          let others =
+            group
+            |> List.filter (fun q -> q <> p && not (Hashtbl.mem scheduled q))
+            |> List.sort Int.compare
+          in
+          List.iter schedule others;
+          schedule p;
+          Hashtbl.remove by_dest dst
+        end
+      end)
+    (Move_spec.procs spec);
+  (* Stage 2: the leftovers, in id order. *)
+  List.iter
+    (fun p -> if not (Hashtbl.mem scheduled p) then schedule p)
+    (Move_spec.procs spec);
+  Source_movers.scheduled state
+
+let build_checked spec =
+  let sigma = build spec in
+  assert (Source_movers.is_secretive spec sigma);
+  sigma

@@ -1,0 +1,24 @@
+(** Construction of secretive complete schedules (Figure 1 / Lemma 4.1).
+
+    A schedule [σ] is {e complete} w.r.t. a move spec [(S, f)] when every
+    process of [S] appears exactly once, and {e secretive} when additionally
+    every register's movers chain has length at most two.  Lemma 4.1 states a
+    secretive complete schedule always exists; [build] constructs one.
+
+    The construction follows the paper's two stages.  Stage one repeatedly
+    picks an unscheduled process [p] whose source register is still {e fresh}
+    (no movers), and schedules {e all} unscheduled processes whose destination
+    equals [p]'s destination, [p] last — leaving that destination with the
+    single mover [p], permanently.  Freshness is monotone (a register with
+    movers never loses them), so a single pass in id order implements the
+    loop.  Stage two schedules the remaining processes (whose sources are all
+    stable single-mover registers) in id order. *)
+
+val build : Move_spec.t -> int list
+(** A secretive complete schedule for the spec.  Deterministic: ties are
+    broken by process id. *)
+
+val build_checked : Move_spec.t -> int list
+(** [build] plus an assertion that the result satisfies
+    {!Source_movers.is_secretive} — used by the adversary, where a
+    non-secretive schedule would silently break the UP-set accounting. *)

@@ -1,0 +1,45 @@
+type t = {
+  spec : Move_spec.t;
+  (* Only registers whose (source, movers) differ from the default (r, [])
+     appear in the table.  Movers chains are stored newest-first. *)
+  state : (int, int * int list) Hashtbl.t;
+  mutable order : int list; (* scheduled processes, newest first *)
+  mutable seen : (int, unit) Hashtbl.t;
+}
+
+let start spec = { spec; state = Hashtbl.create 16; order = []; seen = Hashtbl.create 16 }
+
+let lookup t r = Option.value ~default:(r, []) (Hashtbl.find_opt t.state r)
+
+let append t p =
+  if Hashtbl.mem t.seen p then
+    invalid_arg (Printf.sprintf "Source_movers.append: p%d already scheduled" p);
+  let src, dst =
+    match Move_spec.op_of t.spec p with
+    | op -> op
+    | exception Not_found ->
+      invalid_arg (Printf.sprintf "Source_movers.append: p%d not in move spec" p)
+  in
+  let src_source, src_movers = lookup t src in
+  Hashtbl.replace t.state dst (src_source, p :: src_movers);
+  Hashtbl.replace t.seen p ();
+  t.order <- p :: t.order
+
+let scheduled t = List.rev t.order
+let source t r = fst (lookup t r)
+let movers t r = List.rev (snd (lookup t r))
+let movers_len t r = List.length (snd (lookup t r))
+
+let max_movers t =
+  Hashtbl.fold (fun _ (_, chain) acc -> max acc (List.length chain)) t.state 0
+
+let eval spec sigma =
+  let t = start spec in
+  List.iter (append t) sigma;
+  t
+
+let is_complete spec sigma =
+  List.sort Int.compare sigma = Move_spec.procs spec
+
+let is_secretive spec sigma =
+  is_complete spec sigma && max_movers (eval spec sigma) <= 2

@@ -1,0 +1,49 @@
+(** The [source] / [movers] semantics of move schedules (Section 4).
+
+    For a schedule [σ] (a sequence of processes from a move spec [(S, f)],
+    each appearing at most once) and a register [R]:
+    - [source R σ] is the register whose {e original} value ends up in [R]
+      after the moves of [σ] execute in order;
+    - [movers R σ] is the chain of processes whose moves, in order, carried
+      that value into [R].
+
+    Inductively: [source R λ = R], [movers R λ = []]; appending process [p]
+    with [f p = (src, dst)] sets [source dst := source src],
+    [movers dst := movers src ++ [p]] (values taken {e before} the append)
+    and leaves every other register unchanged. *)
+
+type t
+(** Mutable evaluation state for a schedule built left to right. *)
+
+val start : Move_spec.t -> t
+
+val append : t -> int -> unit
+(** Append one process of the spec to the schedule.  Raises
+    [Invalid_argument] if the process is not in the spec or was already
+    scheduled. *)
+
+val scheduled : t -> int list
+(** The schedule so far, in order. *)
+
+val source : t -> int -> int
+(** [source t r] — defaults to [r] itself for untouched registers. *)
+
+val movers : t -> int -> int list
+(** [movers t r] — empty for untouched registers. *)
+
+val movers_len : t -> int -> int
+
+val max_movers : t -> int
+(** Maximum movers-chain length over all registers. *)
+
+(** {1 Whole-schedule evaluation} *)
+
+val eval : Move_spec.t -> int list -> t
+(** [eval spec σ] replays [σ] from scratch. *)
+
+val is_complete : Move_spec.t -> int list -> bool
+(** Every process of the spec appears exactly once. *)
+
+val is_secretive : Move_spec.t -> int list -> bool
+(** Complete and every register has at most two movers (the paper's
+    definition of a secretive complete schedule). *)

@@ -1,0 +1,30 @@
+(** Herlihy's consensus-based universal construction.
+
+    The paper's related work traces universal constructions to Herlihy
+    [17, 18], whose classic construction threads operations onto a list of
+    cells, each cell decided by a {e consensus} object; Jayanti, Tan and
+    Toueg [25] prove that oblivious universal constructions built from
+    consensus objects cost Ω(n) per operation.  This module implements the
+    construction with each one-shot consensus object realised from a single
+    LL/SC register in at most three shared operations, giving the classic
+    O(n) worst case — a second, structurally different Θ(n) baseline next to
+    {!Herlihy} (experiment E14).
+
+    Layout: an announce register per process and an unbounded array of
+    consensus cells.  To perform an operation, a process announces its
+    descriptor and then walks the cell sequence from its last known
+    position.  At cell [k] it proposes — following the classic round-robin
+    helping rule — the announced-but-unthreaded operation of process
+    [k mod n] if any, else its own.  The cell's consensus decides which
+    descriptor occupies position [k]; the walker replays decided cells
+    through the sequential specification, so when its own descriptor is
+    decided it knows the object state just before it and hence its
+    response.  Helping bounds the walk: by the time [n] fresh cells have
+    been decided after an announce, every earlier announce (including this
+    one) has been threaded. *)
+
+val construction : Iface.t
+(** [name = "consensus-list"], [oblivious = true]; the worst case reported
+    is for the harness's workloads: at most [4·(ops_before + n) + 2] shared
+    operations, where the per-[n] bound exposed here assumes single-use
+    workloads (one operation per process), i.e. [worst_case ~n = 4n + 6]. *)

@@ -1,0 +1,135 @@
+open Lb_memory
+open Lb_runtime
+
+type op_stat = {
+  pid : int;
+  seq : int;
+  op : Value.t;
+  response : Value.t;
+  invoked : int;
+  responded : int;
+  cost : int;
+}
+
+type result = {
+  stats : op_stat list;
+  max_cost : int;
+  mean_cost : float;
+  total_shared_ops : int;
+  completed : bool;
+  largest_register : int;
+  history : Lb_objects.History.entry list;
+}
+
+(* Per-process driver state: the current operation runs in a fresh
+   [Process.t] so its shared-op count is exactly the operation's cost. *)
+type slot = {
+  pid : int;
+  mutable queue : Value.t list;
+  mutable seq : int;
+  mutable current : (Value.t * Value.t Process.t * int (* invoked at *)) option;
+}
+
+let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
+    ?(assignment = Coin.constant 0) ?fuel () =
+  let slots = Array.init n (fun pid -> { pid; queue = ops pid; seq = 0; current = None }) in
+  (* The clock ticks at every invocation, every shared-memory operation, and
+     every response, so distinct events never share a timestamp and the
+     real-time precedence fed to the linearizability checker is exact. *)
+  let clock = ref 0 in
+  let tick () =
+    incr clock;
+    !clock
+  in
+  let stats = ref [] in
+  let start_next slot =
+    match slot.queue with
+    | [] -> ()
+    | op :: rest ->
+      slot.queue <- rest;
+      let program = handle.Iface.apply ~pid:slot.pid ~seq:slot.seq op in
+      slot.current <- Some (op, Process.create ~id:slot.pid program, tick ());
+      slot.seq <- slot.seq + 1
+  in
+  Array.iter start_next slots;
+  let finish slot op (proc : Value.t Process.t) invoked response =
+    stats :=
+      {
+        pid = slot.pid;
+        seq = slot.seq - 1;
+        op;
+        response;
+        invoked;
+        responded = tick ();
+        cost = Process.shared_ops proc;
+      }
+      :: !stats;
+    slot.current <- None;
+    start_next slot
+  in
+  let runnable () =
+    Array.to_list slots |> List.filter_map (fun s -> Option.map (fun _ -> s.pid) s.current)
+  in
+  let total_ops = Array.fold_left (fun acc s -> acc + List.length s.queue + 1) 0 slots in
+  let default_fuel = 64 * total_ops * (n + Adt_tree.levels n + 8) in
+  let fuel = Option.value ~default:default_fuel fuel in
+  let rec drive step remaining =
+    match runnable () with
+    | [] -> true
+    | pids ->
+      if remaining = 0 then false
+      else (
+        match scheduler ~step ~runnable:pids with
+        | None -> false
+        | Some pid ->
+          let slot = slots.(pid) in
+          (match slot.current with
+          | None -> assert false
+          | Some (op, proc, invoked) ->
+            Process.advance_local proc assignment;
+            (match Process.status proc with
+            | Process.Terminated response ->
+              (* Terminated on local steps alone (possible for zero-cost ops). *)
+              finish slot op proc invoked response
+            | Process.Running ->
+              ignore (Process.exec_op proc memory ~round:(-1));
+              ignore (tick ());
+              (match Process.status proc with
+              | Process.Terminated response -> finish slot op proc invoked response
+              | Process.Running -> ())));
+          drive (step + 1) (remaining - 1))
+  in
+  let completed = drive 0 fuel in
+  let stats = List.rev !stats in
+  let costs = List.map (fun s -> s.cost) stats in
+  let max_cost = List.fold_left max 0 costs in
+  let mean_cost =
+    if stats = [] then 0.0
+    else float_of_int (List.fold_left ( + ) 0 costs) /. float_of_int (List.length stats)
+  in
+  let history =
+    List.map
+      (fun (s : op_stat) ->
+        Lb_objects.History.entry ~pid:s.pid ~op:s.op ~response:s.response ~invoked:s.invoked
+          ~responded:s.responded)
+      stats
+  in
+  {
+    stats;
+    max_cost;
+    mean_cost;
+    total_shared_ops = Memory.total_ops memory;
+    completed;
+    largest_register = Memory.largest_value_size memory;
+    history;
+  }
+
+let run ~construction ~spec ~n ~ops ?scheduler ?fuel () =
+  let layout = Layout.create () in
+  let handle = construction.Iface.create layout ~n spec in
+  let memory = Memory.create () in
+  Layout.install layout memory;
+  run_handle ~memory ~handle ~n ~ops ?scheduler ?fuel ()
+
+let check_linearizable ~spec result =
+  Lb_objects.History.is_linearizable spec result.history

@@ -1,0 +1,61 @@
+(** Workload driver for implemented objects.
+
+    Runs [n] processes, each with a list of object operations, against a
+    construction handle.  Operations execute one at a time per process (a
+    process invokes its next operation only after the previous one
+    responded), interleaved at shared-memory-operation granularity by a
+    {!Lb_runtime.Scheduler.choice}.  The driver records, per operation: its
+    response, its invocation/response times on a global clock, and its exact
+    shared-memory operation count — the paper's shared-access cost.
+
+    The recorded history feeds {!Lb_objects.History.is_linearizable}; the
+    cost maxima feed the complexity experiments. *)
+
+open Lb_memory
+open Lb_runtime
+
+type op_stat = {
+  pid : int;
+  seq : int;
+  op : Value.t;
+  response : Value.t;
+  invoked : int;
+  responded : int;
+  cost : int;  (** shared-memory operations this operation took. *)
+}
+
+type result = {
+  stats : op_stat list;  (** in global response order. *)
+  max_cost : int;
+  mean_cost : float;
+  total_shared_ops : int;
+  completed : bool;  (** all scheduled operations ran to completion. *)
+  largest_register : int;
+  history : Lb_objects.History.entry list;
+}
+
+val run_handle :
+  memory:Memory.t ->
+  handle:Iface.handle ->
+  n:int ->
+  ops:(int -> Value.t list) ->
+  ?scheduler:Scheduler.choice ->
+  ?assignment:Coin.assignment ->
+  ?fuel:int ->
+  unit ->
+  result
+(** Drive a pre-installed handle ([memory] must already contain the layout's
+    initial values). *)
+
+val run :
+  construction:Iface.t ->
+  spec:Lb_objects.Spec.t ->
+  n:int ->
+  ops:(int -> Value.t list) ->
+  ?scheduler:Scheduler.choice ->
+  ?fuel:int ->
+  unit ->
+  result
+(** Instantiate the construction on a fresh memory and drive it. *)
+
+val check_linearizable : spec:Lb_objects.Spec.t -> result -> bool

@@ -1,0 +1,18 @@
+(** The O(n) oblivious universal construction (classical baseline).
+
+    Herlihy-style announce-and-help: each process publishes its operation
+    descriptor in a single-writer announce register, then twice attempts to
+    install a new root record — link-load the root, collect {e all} [n]
+    announce registers, apply every collected operation not yet reflected in
+    the response map, store-conditional.  The same two-attempt helping
+    argument as in {!Adt_tree} guarantees the operation is applied, because
+    the second successful competitor must have collected the announces after
+    this process published.
+
+    Cost per object operation: announce = 1; two attempts of
+    (LL + n validates + SC) = 2(n + 2); final response read = 1 — worst case
+    [2n + 6].  Linear in [n]: the baseline the combining tree beats, with
+    the crossover visible in experiment E7. *)
+
+val construction : Iface.t
+(** [name = "herlihy"], [oblivious = true], [worst_case ~n = 2n + 6]. *)

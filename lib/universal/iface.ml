@@ -1,0 +1,16 @@
+open Lb_memory
+open Lb_runtime
+
+type handle = {
+  name : string;
+  oblivious : bool;
+  n : int;
+  apply : pid:int -> seq:int -> Value.t -> Value.t Program.t;
+}
+
+type t = {
+  name : string;
+  oblivious : bool;
+  worst_case : n:int -> int;
+  create : Layout.t -> n:int -> Lb_objects.Spec.t -> handle;
+}

@@ -1,0 +1,36 @@
+open Lb_memory
+open Lb_runtime
+open Program.Syntax
+
+let blind ~n:_ =
+  let program_of _pid =
+    let* _v = Program.ll 0 in
+    Program.return 1
+  in
+  (program_of, [ (0, Value.Int 0) ])
+
+let fixed_ops ~k ~n:_ =
+  let reg = 0 in
+  let program_of _pid =
+    let rec loop remaining =
+      if remaining = 0 then Program.return 1
+      else
+        let* v = Program.ll reg in
+        let* _ok = Program.sc_flag reg (Value.Int (Value.to_int v + 1)) in
+        loop (remaining - 1)
+    in
+    loop (max 1 (k / 2))
+  in
+  (program_of, [ (reg, Value.Int 0) ])
+
+let lucky ~threshold ~n =
+  if threshold <= 0 then invalid_arg "Cheaters.lucky: threshold must be positive";
+  let collect, inits = Direct_algorithms.naive_collect ~n in
+  let program_of pid =
+    let* outcome = Program.toss_bounded threshold in
+    if outcome = 0 then
+      let* _v = Program.ll 0 in
+      Program.return 1
+    else collect pid
+  in
+  (program_of, inits)

@@ -1,0 +1,27 @@
+(** Deliberately incorrect wakeup "solutions" — failure injection for the
+    Theorem 6.1 machinery.
+
+    Each claims to solve wakeup in o(log n) shared-memory operations.  The
+    lower-bound analysis must {e catch} them: the winner's UP-set [S] after
+    [r < log₄ n] operations has at most [4^r < n] processes, so the
+    (S, A)-run is a concrete run in which the winner still returns 1 while
+    the processes outside [S] never take a step — a violation of wakeup
+    condition (3) that {!Lb_adversary.Lower_bound.analyze} reports as a
+    {!Lb_adversary.Lower_bound.violation}. *)
+
+open Lb_runtime
+
+val blind : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** Every process performs one LL on [R0] and returns 1 — "everyone is
+    surely up by now". *)
+
+val fixed_ops : k:int -> n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** Every process LL/SC-increments a counter [k] times, then returns 1 —
+    however large [k] is, for [4^k < n] the adversary finds the violating
+    run. *)
+
+val lucky : threshold:int -> n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** Randomized cheater: tosses a coin; on outcome [0] (probability
+    [1/threshold] under a uniform assignment) returns 1 after a single LL,
+    otherwise runs the correct naive collect.  Caught on the toss
+    assignments where some process gets lucky. *)

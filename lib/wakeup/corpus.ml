@@ -1,0 +1,112 @@
+open Lb_runtime
+open Lb_universal
+
+type entry = {
+  name : string;
+  make : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list;
+  randomized : bool;
+  correct : bool;
+  worst_case : (n:int -> int) option;
+}
+
+let naive =
+  {
+    name = "naive-collect";
+    make = (fun ~n -> Direct_algorithms.naive_collect ~n);
+    randomized = false;
+    correct = true;
+    worst_case = Some (fun ~n -> 2 * n);
+  }
+
+let post_collect =
+  {
+    name = "post-collect";
+    make = (fun ~n -> Direct_algorithms.post_collect ~n);
+    randomized = false;
+    correct = true;
+    worst_case = Some (fun ~n -> n + 1);
+  }
+
+let move_collect =
+  {
+    name = "move-collect";
+    make = (fun ~n -> Direct_algorithms.move_collect ~n);
+    randomized = false;
+    correct = true;
+    worst_case = Some (fun ~n -> (2 * n) + 1);
+  }
+
+let tree_collect =
+  {
+    name = "tree-collect";
+    make = (fun ~n -> Direct_algorithms.tree_collect ~n);
+    randomized = false;
+    correct = true;
+    worst_case = Some (fun ~n -> (8 * Adt_tree.levels n) + 2);
+  }
+
+let two_counter =
+  {
+    name = "two-counter";
+    make = (fun ~n -> Randomized.two_counter ~n);
+    randomized = true;
+    correct = true;
+    worst_case = Some (fun ~n -> (2 * n) + 2);
+  }
+
+let backoff_collect =
+  {
+    name = "backoff-collect";
+    make = (fun ~n -> Randomized.backoff_collect ~n);
+    randomized = true;
+    correct = true;
+    worst_case = Some (fun ~n -> (2 * n) + 3);
+  }
+
+let reduction_entry ~construction (reduction : Reductions.t) =
+  {
+    name = Printf.sprintf "%s via %s" reduction.Reductions.name construction.Iface.name;
+    make = (fun ~n -> Reductions.program reduction ~construction ~n);
+    randomized = false;
+    correct = true;
+    worst_case =
+      Some (fun ~n -> reduction.Reductions.uses * construction.Iface.worst_case ~n);
+  }
+
+let reduction_entries ~construction =
+  List.map (reduction_entry ~construction) Reductions.all
+
+let log_wakeup = reduction_entry ~construction:Adt_tree.construction Reductions.fetch_inc
+
+let correct_algorithms () =
+  [ naive; post_collect; move_collect; tree_collect; two_counter; backoff_collect ]
+  @ reduction_entries ~construction:Adt_tree.construction
+  @ reduction_entries ~construction:Herlihy.construction
+
+let cheaters ~n_hint =
+  let below_log = max 1 (Lb_adversary.Lower_bound.ceil_log4 n_hint - 1) in
+  [
+    {
+      name = "cheater-blind";
+      make = (fun ~n -> Cheaters.blind ~n);
+      randomized = false;
+      correct = false;
+      worst_case = Some (fun ~n:_ -> 1);
+    };
+    {
+      name = Printf.sprintf "cheater-fixed-%d" below_log;
+      make = (fun ~n -> Cheaters.fixed_ops ~k:below_log ~n);
+      randomized = false;
+      correct = false;
+      worst_case = Some (fun ~n:_ -> below_log);
+    };
+    {
+      name = "cheater-lucky";
+      make = (fun ~n -> Cheaters.lucky ~threshold:4 ~n);
+      randomized = true;
+      correct = false;
+      worst_case = None;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) (correct_algorithms ())

@@ -1,0 +1,51 @@
+(** The wakeup algorithm corpus driven by the experiments.
+
+    Entries bundle a name, a program factory, and metadata (randomized?
+    correct? known worst-case upper bound).  The correct corpus contains the
+    direct algorithms, the randomized ones, and every Theorem 6.2 reduction
+    compiled through each oblivious universal construction; the cheater
+    corpus contains the failure-injection algorithms of {!Cheaters}. *)
+
+open Lb_memory
+open Lb_runtime
+
+type entry = {
+  name : string;
+  make : n:int -> (int -> int Program.t) * (int * Value.t) list;
+  randomized : bool;
+  correct : bool;  (** a genuine wakeup solution? *)
+  worst_case : (n:int -> int) option;  (** known worst-case shared ops per process. *)
+}
+
+val naive : entry
+val post_collect : entry
+(** Swap-phase coverage: single-writer bulletins + validate collect. *)
+
+val move_collect : entry
+(** Move-phase coverage: bulletins gathered through register-to-register
+    moves — drives the secretive-schedule machinery with real information
+    flow. *)
+
+val tree_collect : entry
+(** The non-oblivious O(log n) wakeup with n-bit registers (mask combining
+    tree) — see {!Direct_algorithms.tree_collect}. *)
+
+val two_counter : entry
+val backoff_collect : entry
+
+val reduction_entries : construction:Lb_universal.Iface.t -> entry list
+(** One entry per Theorem 6.2 object type, compiled through the given
+    construction; named ["<object> via <construction>"]. *)
+
+val log_wakeup : entry
+(** The tight upper bound: fetch&inc compiled through the O(log n) combining
+    tree — a deterministic wakeup algorithm with worst case
+    [8⌈log₂ n⌉ + 9] shared operations per process. *)
+
+val correct_algorithms : unit -> entry list
+val cheaters : n_hint:int -> entry list
+(** Cheater entries; [n_hint] sizes the [fixed_ops] cheater to stay below
+    [log₄ n]. *)
+
+val find : string -> entry option
+(** Look up a correct-corpus entry by name. *)

@@ -1,0 +1,98 @@
+open Lb_memory
+open Lb_runtime
+open Program.Syntax
+
+(* Id sets in a register: a sorted [Value.List] of [Value.Int]. *)
+let encode_set ids = Value.List (List.map (fun i -> Value.Int i) (Ids.elements ids))
+let decode_set v = Ids.of_list (List.map Value.to_int (Value.to_list v))
+
+(* Register layout for the post/collect family: R_p is p's bulletin (0 <= p
+   < n), scratch_p = n + p is p's private gather buffer. *)
+
+let post_collect ~n =
+  let program_of pid =
+    let* _old = Program.swap pid (Value.Int (pid + 1)) in
+    let* seen =
+      Program.fold_list
+        (fun seen q ->
+          let* v = Program.read q in
+          Program.return (seen && not (Value.equal v Value.Unit)))
+        true
+        (List.init n (fun q -> q))
+    in
+    Program.return (if seen then 1 else 0)
+  in
+  (program_of, List.init n (fun q -> (q, Value.Unit)))
+
+let move_collect ~n =
+  let scratch pid = n + pid in
+  let program_of pid =
+    let* _old = Program.swap pid (Value.Int (pid + 1)) in
+    let* seen =
+      Program.fold_list
+        (fun seen q ->
+          (* Route q's bulletin through this process's scratch register: the
+             value arrives via a move, so a later reader's knowledge of q
+             flows through the movers chain. *)
+          let* () = Program.move ~src:q ~dst:(scratch pid) in
+          let* v = Program.read (scratch pid) in
+          Program.return (seen && not (Value.equal v Value.Unit)))
+        true
+        (List.init n (fun q -> q))
+    in
+    Program.return (if seen then 1 else 0)
+  in
+  (program_of, List.init (2 * n) (fun q -> (q, Value.Unit)))
+
+let tree_collect ~n =
+  let levels =
+    let rec go l pow = if pow >= max n 2 then l else go (l + 1) (2 * pow) in
+    go 0 1
+  in
+  let m = 1 lsl levels in
+  (* Register layout: internal node j (1 <= j < m) at index j; leaf i at
+     index m + i.  All registers are n-bit masks. *)
+  let empty = Value.Bits (Bitvec.zero n) in
+  let full = Bitvec.ones n in
+  let reg_of_heap j = j in
+  let program_of pid =
+    let mine = Bitvec.set (Bitvec.zero n) pid true in
+    let* _old = Program.swap (reg_of_heap (m + pid)) (Value.Bits mine) in
+    let merge_once j =
+      let* current = Program.ll (reg_of_heap j) in
+      let* left = Program.read (reg_of_heap (2 * j)) in
+      let* right = Program.read (reg_of_heap ((2 * j) + 1)) in
+      let union =
+        Bitvec.logor (Value.to_bits current) (Bitvec.logor (Value.to_bits left) (Value.to_bits right))
+      in
+      let* _ok = Program.sc_flag (reg_of_heap j) (Value.Bits union) in
+      Program.return ()
+    in
+    let rec climb j =
+      if j < 1 then Program.return ()
+      else
+        let* () = merge_once j in
+        let* () = merge_once j in
+        climb (j / 2)
+    in
+    let* () = climb ((m + pid) / 2) in
+    let* root = Program.read (reg_of_heap 1) in
+    Program.return (if Bitvec.equal (Value.to_bits root) full then 1 else 0)
+  in
+  (program_of, List.init (2 * m) (fun j -> (j, empty)))
+
+let naive_collect ~n =
+  let reg = 0 in
+  let everyone = Ids.range n in
+  let program_of pid =
+    (* Each failed SC is witnessed by another process's success, and every
+       process stops SC-ing after its first success, so at most [n - 1]
+       failures are possible: the retry bound never trips. *)
+    Program.retry_until ~max_attempts:n (fun () ->
+        let* current = Program.ll reg in
+        let installed = Ids.add pid (decode_set current) in
+        let* ok = Program.sc_flag reg (encode_set installed) in
+        if not ok then Program.return None
+        else Program.return (Some (if Ids.equal installed everyone then 1 else 0)))
+  in
+  (program_of, [ (reg, encode_set Ids.empty) ])

@@ -1,0 +1,48 @@
+(** Wakeup algorithms written directly against LL/SC shared memory (no
+    object layer).
+
+    [naive_collect] is the folklore O(n) solution: a single register holds
+    the set of processes known to be up; each process LL/SCs itself into the
+    set until its SC succeeds, and returns 1 iff the set it successfully
+    installed is full.  Worst case ≤ 2n shared operations (every failed SC
+    is another process's success, and each process succeeds once).
+
+    [tournament construction via a universal fetch&inc] lives in
+    {!Corpus}; the O(log n)-worst-case wakeup upper bound is obtained there
+    by compiling {!Reductions.fetch_inc} through {!Lb_universal.Adt_tree}. *)
+
+open Lb_runtime
+
+val naive_collect : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** Per-process programs and the register initialisation ([R0] starts as the
+    empty id set). *)
+
+val post_collect : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** Single-writer solution exercising the {e swap} phase of the adversary:
+    process [p] swaps its id into its own register [R_p], then validates all
+    [n] registers and returns 1 iff it saw every process posted.  Correct
+    because posts are first operations and never retracted: the globally
+    last process to start reading sees everyone.  Worst case [n + 1]
+    operations. *)
+
+val tree_collect : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** The semantics-exploiting O(log n) wakeup with {e small} registers: a
+    combining tree whose node registers hold [n]-bit arrival masks (bit [i]
+    set iff [p_i]'s leaf update reached the node).  A process publishes its
+    bit at its leaf, climbs the tree with two LL/read/read/SC merge attempts
+    per node (union of masks is idempotent and monotone, so the same
+    two-attempt helping argument as in the oblivious tree applies), then
+    reads the root and returns 1 iff the mask is full.
+
+    Worst case [8⌈log₂ (max n 2)⌉ + 2] shared operations with registers of
+    exactly [n] bits — compare {!Lb_universal.Adt_tree}, which achieves the
+    same time {e obliviously} but needs unbounded registers (experiment
+    E13).  The floor of Theorem 6.1 applies to both. *)
+
+val move_collect : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+(** Variant exercising the {e move} phase: after posting, process [p]
+    gathers each [R_q] by [move(R_q, scratch_p)] followed by a validate of
+    its private scratch register — information flows through moves, which is
+    exactly the case the secretive-schedule machinery (Section 4) and the
+    move UP-rules (Section 5.3) exist for.  Worst case [2n + 1]
+    operations. *)

@@ -1,0 +1,32 @@
+(** The wakeup problem (Fischer, Moran, Rudich, Taubenfeld), as specified in
+    Section 1.1 of the paper:
+
+    + every process terminates in a finite number of its own steps, returning
+      0 or 1;
+    + in every run in which all processes terminate, at least one process
+      returns 1;
+    + in every run in which one or more processes return 1, every process
+      takes at least one step before any process returns 1.
+
+    Intuitively: whoever wakes up last must detect that all [n] processes
+    are up.  [check] validates conditions over a completed (All, A)-run.
+
+    Condition 3 is checked conservatively at round granularity: a violation
+    is reported when some process returned 1 by the end of a round at which
+    some other process had taken {e no} step at all (neither a coin toss nor
+    a shared-memory operation).  This is exactly the witness shape the
+    (S, A)-run counterexamples produce, and it never flags a correct
+    algorithm (in an (All, A)-run every process steps from round 1 on). *)
+
+open Lb_adversary
+
+type issue =
+  | Bad_return of int * int  (** (pid, value): returned something ≠ 0/1. *)
+  | Nobody_returned_one  (** terminating run, yet no process returned 1. *)
+  | Premature_one of { winner : int; round : int; silent : Lb_memory.Ids.t }
+      (** someone returned 1 while [silent] processes had taken no step. *)
+
+val check : int All_run.t -> issue list
+(** Empty = the run is consistent with the wakeup specification. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,35 @@
+open Lb_memory
+open Lb_runtime
+open Program.Syntax
+
+let two_counter ~n =
+  let reg_a = 0 and reg_b = 1 in
+  let program_of _pid =
+    let* choice = Program.toss_bounded 2 in
+    let chosen = if choice = 0 then reg_a else reg_b in
+    let* () =
+      Program.retry_until ~max_attempts:n (fun () ->
+          let* v = Program.ll chosen in
+          let* ok = Program.sc_flag chosen (Value.Int (Value.to_int v + 1)) in
+          Program.return (if ok then Some () else None))
+    in
+    let* a = Program.read reg_a in
+    let* b = Program.read reg_b in
+    Program.return (if Value.to_int a + Value.to_int b = n then 1 else 0)
+  in
+  (program_of, [ (reg_a, Value.Int 0); (reg_b, Value.Int 0) ])
+
+let backoff_collect ~n =
+  let scratch = 1 in
+  let collect, inits = Direct_algorithms.naive_collect ~n in
+  let program_of pid =
+    let* delay = Program.toss_bounded 4 in
+    let rec spin k =
+      if k = 0 then collect pid
+      else
+        let* _ = Program.ll scratch in
+        spin (k - 1)
+    in
+    spin delay
+  in
+  (program_of, (scratch, Value.Unit) :: inits)

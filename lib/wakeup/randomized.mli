@@ -1,0 +1,21 @@
+(** Randomized wakeup algorithms — the lower bound's item (3): it holds even
+    under randomization, with the worst-case {e expected} complexity bounded
+    below (Lemma 3.1, experiment E8).
+
+    [two_counter]: each process tosses a coin to pick one of two counter
+    registers, LL/SC-increments the chosen one (retrying; at most [n]
+    attempts, as in the naive collect), then reads both counters and returns
+    1 iff their sum is [n].  Correct for every coin outcome: whoever performs
+    the globally last increment reads sum [n] afterwards (counters only
+    grow, and each process increments exactly once), and a sum of [n] can
+    only be observed after all [n] processes have stepped.
+
+    [backoff_collect]: the naive collect preceded by a coin-tossed number
+    (0-3) of dummy LL operations on a scratch register — semantically inert
+    randomization that exercises toss-assignment alignment between the
+    (All, A)- and (S, A)-runs. *)
+
+open Lb_runtime
+
+val two_counter : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list
+val backoff_collect : n:int -> (int -> int Program.t) * (int * Lb_memory.Value.t) list

@@ -1,0 +1,135 @@
+open Lb_memory
+open Lb_runtime
+open Lb_universal
+open Program.Syntax
+
+type t = {
+  name : string;
+  uses : int;
+  spec : n:int -> Lb_objects.Spec.t;
+  decide : n:int -> pid:int -> apply:(Value.t -> Value.t Program.t) -> int Program.t;
+}
+
+let counter_bits = 62
+
+(* Return-1 test on the first [n] bits of a vector: bit j must equal
+   [expected j]. *)
+let first_bits_match v ~n ~expected =
+  let rec go j = j >= n || (Bitvec.get v j = expected j && go (j + 1)) in
+  go 0
+
+let fetch_inc =
+  {
+    name = "fetch&inc";
+    uses = 1;
+    spec = (fun ~n:_ -> Lb_objects.Counters.fetch_inc ~bits:counter_bits);
+    decide =
+      (fun ~n ~pid:_ ~apply ->
+        let* response = apply Value.Unit in
+        Program.return (if Value.to_int response = n - 1 then 1 else 0));
+  }
+
+let fetch_and =
+  {
+    name = "fetch&and";
+    uses = 1;
+    spec = (fun ~n -> Lb_objects.Bitwise.fetch_and ~bits:n);
+    decide =
+      (fun ~n ~pid ~apply ->
+        let mask = Bitvec.set (Bitvec.ones n) pid false in
+        let* response = apply (Value.Bits mask) in
+        let won = first_bits_match (Value.to_bits response) ~n ~expected:(fun j -> j = pid) in
+        Program.return (if won then 1 else 0));
+  }
+
+let fetch_or =
+  {
+    name = "fetch&or";
+    uses = 1;
+    spec = (fun ~n -> Lb_objects.Bitwise.fetch_or ~bits:n);
+    decide =
+      (fun ~n ~pid ~apply ->
+        let mine = Bitvec.set (Bitvec.zero n) pid true in
+        let* response = apply (Value.Bits mine) in
+        let won = first_bits_match (Value.to_bits response) ~n ~expected:(fun j -> j <> pid) in
+        Program.return (if won then 1 else 0));
+  }
+
+let fetch_complement =
+  {
+    name = "fetch&complement";
+    uses = 1;
+    spec = (fun ~n -> Lb_objects.Bitwise.fetch_complement ~bits:n);
+    decide =
+      (fun ~n ~pid ~apply ->
+        let* response = apply (Value.Int pid) in
+        let won = first_bits_match (Value.to_bits response) ~n ~expected:(fun j -> j <> pid) in
+        Program.return (if won then 1 else 0));
+  }
+
+let fetch_multiply =
+  {
+    name = "fetch&multiply";
+    uses = 1;
+    spec = (fun ~n -> Lb_objects.Bitwise.fetch_multiply ~bits:n);
+    decide =
+      (fun ~n ~pid:_ ~apply ->
+        let* response = apply (Value.Int 2) in
+        let nth = Bitvec.shift_left (Bitvec.one n) (n - 1) in
+        Program.return (if Bitvec.equal (Value.to_bits response) nth then 1 else 0));
+  }
+
+let queue =
+  {
+    name = "queue";
+    uses = 1;
+    spec = (fun ~n -> Lb_objects.Containers.queue_with_items n);
+    decide =
+      (fun ~n ~pid:_ ~apply ->
+        let* response = apply Lb_objects.Containers.op_deq in
+        Program.return (if Value.equal response (Value.Int n) then 1 else 0));
+  }
+
+let stack =
+  {
+    name = "stack";
+    uses = 1;
+    spec = (fun ~n -> Lb_objects.Containers.stack_with_items n);
+    decide =
+      (fun ~n ~pid:_ ~apply ->
+        let* response = apply Lb_objects.Containers.op_pop in
+        Program.return (if Value.equal response (Value.Int n) then 1 else 0));
+  }
+
+let read_inc =
+  {
+    name = "read+inc";
+    uses = 2;
+    spec = (fun ~n:_ -> Lb_objects.Counters.read_inc ~bits:counter_bits);
+    decide =
+      (fun ~n ~pid:_ ~apply ->
+        let* _ack = apply Lb_objects.Counters.op_inc in
+        let* value = apply Lb_objects.Counters.op_read in
+        Program.return (if Value.to_int value = n then 1 else 0));
+  }
+
+let all =
+  [ fetch_inc; fetch_and; fetch_or; fetch_complement; fetch_multiply; queue; stack; read_inc ]
+
+let oracle_program t ~n oracle ~pid =
+  t.decide ~n ~pid ~apply:(fun op -> Program.return (Lb_objects.Atomic.apply oracle op))
+
+let program t ~construction ~n =
+  let layout = Layout.create () in
+  let handle = construction.Iface.create layout ~n (t.spec ~n) in
+  let inits = Layout.inits layout in
+  let program_of pid =
+    let seq = ref 0 in
+    let apply op =
+      let this_seq = !seq in
+      incr seq;
+      handle.Iface.apply ~pid ~seq:this_seq op
+    in
+    t.decide ~n ~pid ~apply
+  in
+  (program_of, inits)

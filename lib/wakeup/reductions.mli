@@ -1,0 +1,70 @@
+(** The object-based wakeup algorithms of Theorem 6.2.
+
+    For each object type the paper gives a wakeup algorithm in which every
+    process applies at most [uses] operations on a single linearizable
+    object [O] and then decides.  Compiling [O] through any universal
+    construction turns these into LL/SC shared-memory wakeup algorithms, to
+    which the Theorem 6.1 adversary applies — which is how the Ω(log n)
+    implementation lower bound for each of these types is obtained
+    (Corollary 6.1).
+
+    Recipes (process [p_i], [n] processes):
+    - fetch&increment, init 0: apply once; return 1 iff the response is
+      [n-1].
+    - fetch&and, init all-ones: apply with the mask clearing bit [i]; return
+      1 iff the response's first [n] bits are exactly {bit [i]}.
+    - fetch&or, init all-zeroes: apply with bit [i]; return 1 iff the
+      response's first [n] bits are exactly the complement of {bit [i]}.
+    - fetch&complement, init all-zeroes: complement bit [i]; same test as
+      fetch&or.
+    - fetch&multiply, init 1: apply ×2; return 1 iff the response is
+      [2^(n-1)] (the [n]-th multiplier's view; the paper's prose says
+      "response is 0", which no response can be with [k ≥ n] bits and [n]
+      single-use multiplications — [2^(n-1)] is the test its argument
+      actually supports).
+    - queue, initially [1..n] with [n] at the rear: dequeue; return 1 iff
+      the response is [n].
+    - stack, initially [1..n] with [n] at the bottom: pop; return 1 iff the
+      response is [n].
+    - read+increment, init 0 ([uses = 2]): increment, then read; return 1
+      iff the read value is [n]. *)
+
+open Lb_memory
+open Lb_runtime
+open Lb_universal
+
+type t = {
+  name : string;
+  uses : int;  (** [k] of the paper's [k]-use implementations. *)
+  spec : n:int -> Lb_objects.Spec.t;  (** the object type, with its initial state. *)
+  decide :
+    n:int -> pid:int -> apply:(Value.t -> Value.t Program.t) -> int Program.t;
+      (** the wakeup decision program, given a way to apply object
+          operations. *)
+}
+
+val fetch_inc : t
+val fetch_and : t
+val fetch_or : t
+val fetch_complement : t
+val fetch_multiply : t
+val queue : t
+val stack : t
+val read_inc : t
+
+val all : t list
+
+val oracle_program : t -> n:int -> Lb_objects.Atomic.t -> pid:int -> int Program.t
+(** The algorithm running against the sequential oracle (no shared memory;
+    the program performs no shared-memory steps).  Used to validate the
+    recipes themselves before compiling them. *)
+
+val program :
+  t ->
+  construction:Iface.t ->
+  n:int ->
+  (int -> int Program.t) * (int * Value.t) list
+(** Compile through a universal construction: returns the per-process
+    shared-memory programs and the construction's register initialisation.
+    Fresh sequence counters are created per program instantiation, so the
+    same factory can drive both the (All, A)- and the (S, A)-run. *)

@@ -1,0 +1,204 @@
+(* Unit and property tests for the Bitvec substrate: the k-bit words backing
+   the paper's n-bit fetch&and / fetch&or / fetch&multiply objects. *)
+
+open Lowerbound
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+(* Widths that cross limb boundaries (limbs are 16 bits). *)
+let widths = [ 1; 2; 7; 15; 16; 17; 31; 32; 33; 48; 61; 62; 63; 64; 65; 100; 128; 200 ]
+
+let test_zero_ones () =
+  List.iter
+    (fun k ->
+      check_int (Printf.sprintf "zero width %d" k) k (Bitvec.width (Bitvec.zero k));
+      check "zero is_zero" true (Bitvec.is_zero (Bitvec.zero k));
+      check_int (Printf.sprintf "ones popcount %d" k) k (Bitvec.popcount (Bitvec.ones k));
+      check "ones not zero" false (Bitvec.is_zero (Bitvec.ones k)))
+    widths
+
+let test_of_to_int () =
+  List.iter
+    (fun v ->
+      let b = Bitvec.of_int ~width:62 v in
+      Alcotest.(check (option int)) (Printf.sprintf "roundtrip %d" v) (Some v)
+        (Bitvec.to_int_opt b))
+    [ 0; 1; 2; 255; 65535; 65536; 123456789; max_int / 2 ]
+
+let test_of_int_truncates () =
+  (* of_int reduces modulo 2^width. *)
+  let b = Bitvec.of_int ~width:4 255 in
+  Alcotest.(check (option int)) "255 mod 16" (Some 15) (Bitvec.to_int_opt b);
+  let b = Bitvec.of_int ~width:8 256 in
+  Alcotest.(check (option int)) "256 mod 256" (Some 0) (Bitvec.to_int_opt b)
+
+let test_get_set () =
+  let b = Bitvec.zero 40 in
+  let b = Bitvec.set b 0 true in
+  let b = Bitvec.set b 17 true in
+  let b = Bitvec.set b 39 true in
+  check "bit 0" true (Bitvec.get b 0);
+  check "bit 17" true (Bitvec.get b 17);
+  check "bit 39" true (Bitvec.get b 39);
+  check "bit 16" false (Bitvec.get b 16);
+  check_int "popcount" 3 (Bitvec.popcount b);
+  let b = Bitvec.set b 17 false in
+  check "bit 17 cleared" false (Bitvec.get b 17);
+  check_int "popcount after clear" 2 (Bitvec.popcount b)
+
+let test_bounds () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Bitvec: width 0 must be positive")
+    (fun () -> ignore (Bitvec.zero 0));
+  Alcotest.check_raises "negative bit" (Invalid_argument "Bitvec: bit -1 out of range for width 8")
+    (fun () -> ignore (Bitvec.get (Bitvec.zero 8) (-1)));
+  Alcotest.check_raises "bit = width" (Invalid_argument "Bitvec: bit 8 out of range for width 8")
+    (fun () -> ignore (Bitvec.get (Bitvec.zero 8) 8))
+
+let test_mismatched_widths () =
+  Alcotest.check_raises "add widths" (Invalid_argument "Bitvec.add: widths 8 and 9 differ")
+    (fun () -> ignore (Bitvec.add (Bitvec.zero 8) (Bitvec.zero 9)))
+
+let test_add_small () =
+  let v a = Bitvec.of_int ~width:8 a in
+  Alcotest.check bv "3+5" (v 8) (Bitvec.add (v 3) (v 5));
+  Alcotest.check bv "255+1 wraps" (v 0) (Bitvec.add (v 255) (v 1));
+  Alcotest.check bv "succ 255" (v 0) (Bitvec.succ (v 255))
+
+let test_mul_small () =
+  let v a = Bitvec.of_int ~width:8 a in
+  Alcotest.check bv "3*5" (v 15) (Bitvec.mul (v 3) (v 5));
+  Alcotest.check bv "16*16 wraps" (v 0) (Bitvec.mul (v 16) (v 16));
+  Alcotest.check bv "17*15" (v 255) (Bitvec.mul (v 17) (v 15))
+
+let test_mul_wide () =
+  (* Cross-limb carries: with x = 2^64 - 1 in 128 bits, check the identities
+     (x+1)·x = x² + x and (x+1)·x = x << 64 (since x+1 = 2^64). *)
+  let w = 128 in
+  let x = Bitvec.lognot (Bitvec.shift_left (Bitvec.ones w) 64) in
+  let lhs = Bitvec.mul (Bitvec.succ x) x in
+  Alcotest.check bv "(x+1)x = x^2 + x" lhs (Bitvec.add (Bitvec.mul x x) x);
+  Alcotest.check bv "(x+1)x = x<<64" (Bitvec.shift_left x 64) lhs
+
+let test_shift_left () =
+  let v = Bitvec.of_int ~width:70 1 in
+  let s = Bitvec.shift_left v 69 in
+  check "bit 69" true (Bitvec.get s 69);
+  check_int "popcount" 1 (Bitvec.popcount s);
+  Alcotest.check bv "shift out" (Bitvec.zero 70) (Bitvec.shift_left v 70);
+  Alcotest.check bv "shift by 0" v (Bitvec.shift_left v 0)
+
+let test_logic_small () =
+  let v a = Bitvec.of_int ~width:8 a in
+  Alcotest.check bv "and" (v 0b1000) (Bitvec.logand (v 0b1100) (v 0b1010));
+  Alcotest.check bv "or" (v 0b1110) (Bitvec.logor (v 0b1100) (v 0b1010));
+  Alcotest.check bv "xor" (v 0b0110) (Bitvec.logxor (v 0b1100) (v 0b1010));
+  Alcotest.check bv "not" (v 0b11110011) (Bitvec.lognot (v 0b00001100))
+
+let test_complement_bit () =
+  let b = Bitvec.zero 33 in
+  let b1 = Bitvec.complement_bit b 32 in
+  check "flipped" true (Bitvec.get b1 32);
+  Alcotest.check bv "involution" b (Bitvec.complement_bit b1 32)
+
+let test_compare_order () =
+  let v a = Bitvec.of_int ~width:32 a in
+  check "lt" true (Bitvec.compare (v 3) (v 5) < 0);
+  check "gt" true (Bitvec.compare (v 70000) (v 5) > 0);
+  check_int "eq" 0 (Bitvec.compare (v 42) (v 42));
+  check "width order" true (Bitvec.compare (Bitvec.zero 8) (Bitvec.zero 9) < 0)
+
+let test_to_string () =
+  Alcotest.(check string) "small" "0x1f/8" (Bitvec.to_string (Bitvec.of_int ~width:8 31));
+  Alcotest.(check string) "zero" "0x0/8" (Bitvec.to_string (Bitvec.zero 8))
+
+(* ---- properties ---- *)
+
+let gen_width = QCheck.Gen.oneofl widths
+
+let arb_pair_same_width =
+  QCheck.make
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ ", " ^ Bitvec.to_string b)
+    QCheck.Gen.(
+      gen_width >>= fun w ->
+      map2
+        (fun s1 s2 ->
+          let st1 = Random.State.make [| s1 |] and st2 = Random.State.make [| s2 |] in
+          (Bitvec.random st1 ~width:w, Bitvec.random st2 ~width:w))
+        int int)
+
+let arb_triple_same_width =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      String.concat ", " [ Bitvec.to_string a; Bitvec.to_string b; Bitvec.to_string c ])
+    QCheck.Gen.(
+      gen_width >>= fun w ->
+      map3
+        (fun s1 s2 s3 ->
+          let r s = Bitvec.random (Random.State.make [| s |]) ~width:w in
+          (r s1, r s2, r s3))
+        int int int)
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:200 ~name arb f)
+
+let properties =
+  [
+    prop "add commutes" arb_pair_same_width (fun (a, b) ->
+        Bitvec.equal (Bitvec.add a b) (Bitvec.add b a));
+    prop "mul commutes" arb_pair_same_width (fun (a, b) ->
+        Bitvec.equal (Bitvec.mul a b) (Bitvec.mul b a));
+    prop "add associates" arb_triple_same_width (fun (a, b, c) ->
+        Bitvec.equal (Bitvec.add a (Bitvec.add b c)) (Bitvec.add (Bitvec.add a b) c));
+    prop "mul associates" arb_triple_same_width (fun (a, b, c) ->
+        Bitvec.equal (Bitvec.mul a (Bitvec.mul b c)) (Bitvec.mul (Bitvec.mul a b) c));
+    prop "mul distributes" arb_triple_same_width (fun (a, b, c) ->
+        Bitvec.equal (Bitvec.mul a (Bitvec.add b c))
+          (Bitvec.add (Bitvec.mul a b) (Bitvec.mul a c)));
+    prop "mul by one" arb_pair_same_width (fun (a, _) ->
+        Bitvec.equal a (Bitvec.mul a (Bitvec.one (Bitvec.width a))));
+    prop "mul by two is shift" arb_pair_same_width (fun (a, _) ->
+        Bitvec.equal
+          (Bitvec.mul a (Bitvec.of_int ~width:(Bitvec.width a) 2))
+          (Bitvec.shift_left a 1));
+    prop "and idempotent" arb_pair_same_width (fun (a, _) ->
+        Bitvec.equal a (Bitvec.logand a a));
+    prop "de morgan" arb_pair_same_width (fun (a, b) ->
+        Bitvec.equal
+          (Bitvec.lognot (Bitvec.logand a b))
+          (Bitvec.logor (Bitvec.lognot a) (Bitvec.lognot b)));
+    prop "double complement" arb_pair_same_width (fun (a, _) ->
+        Bitvec.equal a (Bitvec.lognot (Bitvec.lognot a)));
+    prop "xor self is zero" arb_pair_same_width (fun (a, _) ->
+        Bitvec.is_zero (Bitvec.logxor a a));
+    prop "add ones is pred" arb_pair_same_width (fun (a, _) ->
+        (* a + (2^k - 1) = a - 1 mod 2^k; adding 1 back recovers a. *)
+        Bitvec.equal a (Bitvec.succ (Bitvec.add a (Bitvec.ones (Bitvec.width a)))));
+    prop "popcount and/or inclusion-exclusion" arb_pair_same_width (fun (a, b) ->
+        Bitvec.popcount (Bitvec.logand a b) + Bitvec.popcount (Bitvec.logor a b)
+        = Bitvec.popcount a + Bitvec.popcount b);
+    prop "compare antisymmetric" arb_pair_same_width (fun (a, b) ->
+        Bitvec.compare a b = -Bitvec.compare b a);
+    prop "equal iff compare zero" arb_pair_same_width (fun (a, b) ->
+        Bitvec.equal a b = (Bitvec.compare a b = 0));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "zero/ones basics" `Quick test_zero_ones;
+    Alcotest.test_case "of_int/to_int roundtrip" `Quick test_of_to_int;
+    Alcotest.test_case "of_int truncates" `Quick test_of_int_truncates;
+    Alcotest.test_case "get/set" `Quick test_get_set;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "mismatched widths" `Quick test_mismatched_widths;
+    Alcotest.test_case "add small" `Quick test_add_small;
+    Alcotest.test_case "mul small" `Quick test_mul_small;
+    Alcotest.test_case "mul wide carries" `Quick test_mul_wide;
+    Alcotest.test_case "shift_left" `Quick test_shift_left;
+    Alcotest.test_case "boolean ops" `Quick test_logic_small;
+    Alcotest.test_case "complement_bit" `Quick test_complement_bit;
+    Alcotest.test_case "compare order" `Quick test_compare_order;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]
+  @ properties

@@ -1,0 +1,85 @@
+(* Tests for the Section-7 RMW extension: memory semantics, the unit-cost
+   universal construction, and the one-operation wakeup. *)
+
+open Lowerbound
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_rmw_memory () =
+  let m = Rmw.Mem.create () in
+  Rmw.Mem.set_init m 0 (Value.Int 5);
+  let old = Rmw.Mem.rmw m ~pid:2 ~reg:0 (fun v -> Value.Int (Value.to_int v * 10)) in
+  Alcotest.check value "returns old" (Value.Int 5) old;
+  Alcotest.check value "applied f" (Value.Int 50) (Rmw.Mem.peek m 0);
+  Alcotest.(check int) "counted" 1 (Rmw.Mem.ops_of m ~pid:2);
+  Alcotest.(check int) "others zero" 0 (Rmw.Mem.ops_of m ~pid:0);
+  Alcotest.check value "unset register" Value.Unit (Rmw.Mem.peek m 9)
+
+let run_ops handle ~inits ~n ops_of schedule =
+  Rmw.run_system ~n
+    ~program_of:(fun pid -> Rmw.apply handle ~op:(ops_of pid))
+    ~inits ~schedule
+
+(* Every object type, implemented in exactly one shared op, matches the
+   sequential specification applied in schedule order. *)
+let test_unit_cost_universal_all_types () =
+  let cases =
+    [
+      (Counters.fetch_inc ~bits:62, (fun _ -> Value.Unit));
+      (Bitwise.fetch_or ~bits:8, fun pid -> Value.Int (1 lsl pid));
+      (Containers.queue_with_items 4, fun _ -> Containers.op_deq);
+      (Misc_types.consensus, fun pid -> Misc_types.op_propose (Value.Int pid));
+    ]
+  in
+  List.iter
+    (fun (spec, ops_of) ->
+      let n = 4 in
+      let schedule = [ 2; 0; 3; 1 ] in
+      let handle = Rmw.create ~reg:0 spec in
+      let memory, results = run_ops handle ~inits:[ (0, Rmw.init handle) ] ~n ops_of schedule in
+      Alcotest.(check int) (spec.Spec.name ^ ": unit cost") 1 (Rmw.Mem.max_ops memory);
+      (* Reference: the sequential spec applied in schedule order. *)
+      let expected, _ = Spec.run_sequential spec (List.map ops_of schedule) in
+      List.iter2
+        (fun pid expected_resp ->
+          Alcotest.check value
+            (Printf.sprintf "%s: p%d response" spec.Spec.name pid)
+            expected_resp (List.assoc pid results))
+        schedule expected)
+    cases
+
+let test_rmw_wakeup_all_schedules () =
+  (* One op per process means schedules are permutations; check a few:
+     exactly the last scheduled process returns 1. *)
+  let n = 5 in
+  let program_of, inits = Rmw.wakeup ~n ~reg:0 in
+  List.iter
+    (fun schedule ->
+      let memory, results = Rmw.run_system ~n ~program_of ~inits ~schedule in
+      Alcotest.(check int) "unit cost" 1 (Rmw.Mem.max_ops memory);
+      let winners = List.filter (fun (_, v) -> v = 1) results in
+      Alcotest.(check (list (pair int int))) "last scheduled wins"
+        [ (List.nth schedule (n - 1), 1) ]
+        winners)
+    [ [ 0; 1; 2; 3; 4 ]; [ 4; 3; 2; 1; 0 ]; [ 2; 0; 4; 1; 3 ] ]
+
+let test_rmw_schedule_validation () =
+  let program_of, inits = Rmw.wakeup ~n:3 ~reg:0 in
+  Alcotest.check_raises "unfinished" (Failure "Rmw.run_system: schedule left processes unfinished")
+    (fun () -> ignore (Rmw.run_system ~n:3 ~program_of ~inits ~schedule:[ 0; 1 ]));
+  (* Extra schedule entries for terminated processes are skipped. *)
+  let _, results = Rmw.run_system ~n:3 ~program_of ~inits ~schedule:[ 0; 0; 1; 1; 2 ] in
+  Alcotest.(check int) "all terminated" 3 (List.length results)
+
+let test_e12_passes () =
+  let table = Lb_experiments.Experiments.e12 ~ns:[ 2; 8; 64 ] () in
+  Alcotest.(check bool) "E12" true table.Lb_experiments.Table.pass
+
+let suite =
+  [
+    Alcotest.test_case "RMW memory semantics" `Quick test_rmw_memory;
+    Alcotest.test_case "unit-cost universal, all types" `Quick test_unit_cost_universal_all_types;
+    Alcotest.test_case "RMW wakeup over schedules" `Quick test_rmw_wakeup_all_schedules;
+    Alcotest.test_case "schedule validation" `Quick test_rmw_schedule_validation;
+    Alcotest.test_case "experiment E12" `Quick test_e12_passes;
+  ]

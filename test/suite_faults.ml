@@ -1,0 +1,156 @@
+(* Fault injection: wait-freedom of the universal constructions.
+
+   A wait-free implementation guarantees that a process completes its
+   operation in a bounded number of its own steps regardless of the other
+   processes — including when they crash mid-operation.  We crash processes
+   after a prefix of their steps and check the survivors finish, within
+   their analytic bounds, with mutually consistent responses. *)
+
+open Lowerbound
+
+(* A scheduler that stops scheduling [pid] after it has taken [steps] steps
+   (crash-stop mid-operation), delegating to round-robin otherwise. *)
+let crash_after ~pid ~steps =
+  let taken = ref 0 in
+  fun ~step ~runnable ->
+    let alive = if !taken >= steps then List.filter (fun p -> p <> pid) runnable else runnable in
+    match Scheduler.round_robin ~step ~runnable:alive with
+    | Some p ->
+      if p = pid then incr taken;
+      Some p
+    | None -> None
+
+let distinct_ints l = List.length (List.sort_uniq Int.compare l) = List.length l
+
+let run_with_crash (construction : Iface.t) ~n ~crash_steps =
+  let result =
+    Harness.run ~construction ~spec:(Counters.fetch_inc ~bits:62) ~n
+      ~ops:(fun _ -> [ Value.Unit ])
+      ~scheduler:(crash_after ~pid:0 ~steps:crash_steps)
+      ~fuel:(64 * n * construction.Iface.worst_case ~n)
+      ()
+  in
+  (* p0 crashed, so the run cannot complete p0's operation... unless the
+     crash point was late enough that it already finished. *)
+  let finished_pids = List.map (fun (s : Harness.op_stat) -> s.Harness.pid) result.Harness.stats in
+  let survivors = List.filter (fun p -> p <> 0) (List.init n (fun i -> i)) in
+  (result, finished_pids, survivors)
+
+let test_survivors_complete () =
+  List.iter
+    (fun (construction : Iface.t) ->
+      List.iter
+        (fun crash_steps ->
+          List.iter
+            (fun n ->
+              let result, finished, survivors = run_with_crash construction ~n ~crash_steps in
+              let label =
+                Printf.sprintf "%s n=%d crash@%d" construction.Iface.name n crash_steps
+              in
+              List.iter
+                (fun p ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: p%d finished" label p)
+                    true (List.mem p finished))
+                survivors;
+              (* Survivors stay within the wait-free bound. *)
+              List.iter
+                (fun (s : Harness.op_stat) ->
+                  if s.Harness.pid <> 0 then
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s: p%d within bound" label s.Harness.pid)
+                      true
+                      (s.Harness.cost <= construction.Iface.worst_case ~n))
+                result.Harness.stats)
+            [ 3; 5; 8 ])
+        [ 1; 2; 5; 9 ])
+    [ Adt_tree.construction; Herlihy.construction ]
+
+let test_crashed_op_helped_or_lost_atomically () =
+  (* The crashed process's increment either took effect (a helper applied
+     its announced descriptor) or it did not — never half: survivors'
+     responses are distinct and form a prefix-with-one-hole of 0..n-1. *)
+  List.iter
+    (fun (construction : Iface.t) ->
+      List.iter
+        (fun crash_steps ->
+          let n = 6 in
+          let result, _, _ = run_with_crash construction ~n ~crash_steps in
+          let survivor_responses =
+            List.filter_map
+              (fun (s : Harness.op_stat) ->
+                if s.Harness.pid = 0 then None else Some (Value.to_int s.Harness.response))
+              result.Harness.stats
+          in
+          let label = Printf.sprintf "%s crash@%d" construction.Iface.name crash_steps in
+          Alcotest.(check int) (label ^ ": all survivors responded") (n - 1)
+            (List.length survivor_responses);
+          Alcotest.(check bool) (label ^ ": distinct") true (distinct_ints survivor_responses);
+          let sorted = List.sort Int.compare survivor_responses in
+          let applied_without_p0 = List.init (n - 1) (fun i -> i) in
+          let applied_with_p0_somewhere =
+            (* p0's op applied at some point k: survivors see 0..n-1 minus k. *)
+            List.exists
+              (fun hole ->
+                sorted = List.filter (fun v -> v <> hole) (List.init n (fun i -> i)))
+              (List.init n (fun i -> i))
+          in
+          Alcotest.(check bool)
+            (label ^ ": consistent counter")
+            true
+            (sorted = applied_without_p0 || applied_with_p0_somewhere))
+        [ 1; 2; 3; 4; 6; 10 ])
+    [ Adt_tree.construction; Herlihy.construction ]
+
+let test_multiple_crashes () =
+  (* Crash all but one process immediately: the lone survivor still finishes
+     solo within its bound. *)
+  List.iter
+    (fun (construction : Iface.t) ->
+      let n = 8 in
+      let dead = Ids.of_list [ 0; 1; 2; 3; 4; 5; 6 ] in
+      let result =
+        Harness.run ~construction ~spec:(Counters.fetch_inc ~bits:62) ~n
+          ~ops:(fun _ -> [ Value.Unit ])
+          ~scheduler:(Scheduler.crash ~dead Scheduler.round_robin)
+          ()
+      in
+      let mine =
+        List.filter (fun (s : Harness.op_stat) -> s.Harness.pid = 7) result.Harness.stats
+      in
+      match mine with
+      | [ s ] ->
+        Alcotest.(check int) (construction.Iface.name ^ ": survivor sees 0") 0
+          (Value.to_int s.Harness.response);
+        Alcotest.(check bool) (construction.Iface.name ^ ": within bound") true
+          (s.Harness.cost <= construction.Iface.worst_case ~n)
+      | _ -> Alcotest.failf "%s: survivor did not finish exactly once" construction.Iface.name)
+    [ Adt_tree.construction; Herlihy.construction ]
+
+let test_retry_loop_not_wait_free_under_lockstep () =
+  (* Contrast: the direct retry loop is only lock-free.  Under a pure
+     lockstep schedule with enough processes, some process exhausts a small
+     retry budget — the wait-freedom failure made visible. *)
+  let layout = Layout.create () in
+  let handle = Direct.fetch_inc_retry layout ~max_attempts:3 () in
+  let memory = Memory.create () in
+  Layout.install layout memory;
+  let blew_up =
+    try
+      let _ =
+        Harness.run_handle ~memory ~handle ~n:8 ~ops:(fun _ -> [ Value.Unit ]) ()
+      in
+      false
+    with Failure message -> message = "Program.retry_until: 3 attempts exhausted"
+  in
+  Alcotest.(check bool) "retry budget exhausted under contention" true blew_up
+
+let suite =
+  [
+    Alcotest.test_case "survivors complete after crash" `Slow test_survivors_complete;
+    Alcotest.test_case "crashed op helped or lost atomically" `Slow
+      test_crashed_op_helped_or_lost_atomically;
+    Alcotest.test_case "lone survivor of 7 crashes" `Quick test_multiple_crashes;
+    Alcotest.test_case "retry loop is not wait-free" `Quick
+      test_retry_loop_not_wait_free_under_lockstep;
+  ]

@@ -1,0 +1,219 @@
+(* Adversary fuzzing: the Indistinguishability Lemma and the round/UP
+   machinery checked against RANDOM programs — arbitrary mixtures of LL, SC,
+   validate, swap and move with value-dependent branching and coin tosses,
+   far outside the well-behaved wakeup corpus.  This exercises every UP
+   update rule (swap chains, unsuccessful SCs reading round-r knowledge,
+   moves into registers that are then read or swapped) in random
+   combinations. *)
+
+open Lowerbound
+open Program.Syntax
+
+(* ---- random program atoms ---- *)
+
+type atom =
+  | A_ll of int
+  | A_sc of int * int
+  | A_validate of int
+  | A_swap of int * int
+  | A_move of int * int
+  | A_toss
+  | A_branch of int
+      (* read a register; branch on the parity of what it holds: even ->
+         LL the next register, odd -> swap it.  Couples control flow to
+         values, so schedules genuinely change behaviour. *)
+
+let atom_to_program atom rest =
+  match atom with
+  | A_ll r ->
+    let* _ = Program.ll r in
+    rest
+  | A_sc (r, v) ->
+    let* _ = Program.sc r (Value.Int v) in
+    rest
+  | A_validate r ->
+    let* _ = Program.validate r in
+    rest
+  | A_swap (r, v) ->
+    let* _ = Program.swap r (Value.Int v) in
+    rest
+  | A_move (src, dst) ->
+    let* () = Program.move ~src ~dst in
+    rest
+  | A_toss ->
+    let* _ = Program.toss_bounded 3 in
+    rest
+  | A_branch r ->
+    let* v = Program.read r in
+    let even = match v with Value.Int k -> k mod 2 = 0 | _ -> true in
+    if even then
+      let* _ = Program.ll (r + 1) in
+      rest
+    else
+      let* _ = Program.swap (r + 1) (Value.Int 99) in
+      rest
+
+let program_of_atoms atoms = List.fold_right atom_to_program atoms (Program.return 0)
+
+let gen_atom regs =
+  QCheck.Gen.(
+    int_range 0 (regs - 1) >>= fun r ->
+    int_range 0 9 >>= fun v ->
+    oneofl
+      [
+        A_ll r;
+        A_sc (r, v);
+        A_validate r;
+        A_swap (r, v);
+        A_move (r, (r + 1 + (v mod (regs - 1))) mod regs);
+        A_toss;
+        A_branch r;
+      ])
+
+(* A system: n processes, each a short random atom list. *)
+let gen_system =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun n ->
+    let regs = 4 in
+    list_repeat n (list_size (int_range 1 6) (gen_atom regs)) >|= fun atom_lists ->
+    (n, atom_lists))
+
+let print_system (n, atom_lists) =
+  let atom_str = function
+    | A_ll r -> Printf.sprintf "LL R%d" r
+    | A_sc (r, v) -> Printf.sprintf "SC R%d %d" r v
+    | A_validate r -> Printf.sprintf "val R%d" r
+    | A_swap (r, v) -> Printf.sprintf "swap R%d %d" r v
+    | A_move (s, d) -> Printf.sprintf "move R%d->R%d" s d
+    | A_toss -> "toss"
+    | A_branch r -> Printf.sprintf "branch R%d" r
+  in
+  Printf.sprintf "n=%d; %s" n
+    (String.concat " | " (List.map (fun l -> String.concat ", " (List.map atom_str l)) atom_lists))
+
+let arb_system = QCheck.make ~print:print_system gen_system
+
+let inits = [ (0, Value.Int 0); (1, Value.Int 0); (2, Value.Int 0); (3, Value.Int 0); (4, Value.Int 0) ]
+
+let execute (n, atom_lists) seed =
+  let programs = Array.of_list (List.map program_of_atoms atom_lists) in
+  let program_of pid = programs.(pid) in
+  let assignment = Coin.uniform ~seed in
+  let run = All_run.execute ~n ~program_of ~assignment ~inits ~max_rounds:100 () in
+  (run, program_of, assignment)
+
+(* ---- properties ---- *)
+
+let prop name f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb_system f)
+
+let fuzz_lemma_5_1 =
+  prop "fuzz: Lemma 5.1 on random programs" (fun system ->
+      let run, _, _ = execute system 7 in
+      let n = fst system in
+      run.All_run.outcome = All_run.Terminating
+      && Upsets.lemma_5_1_holds (Upsets.compute ~n run.All_run.rounds))
+
+let fuzz_indistinguishability =
+  prop "fuzz: Lemma 5.2 on random programs" (fun system ->
+      let n = fst system in
+      let run, program_of, assignment = execute system 11 in
+      let upsets = Upsets.compute ~n run.All_run.rounds in
+      List.for_all
+        (fun pid ->
+          let r = min (All_run.ops_of run ~pid) (All_run.num_rounds run) in
+          let s = Upsets.of_process upsets ~r ~pid in
+          let s_run =
+            S_run.execute ~n ~program_of ~assignment ~inits ~s ~all_run:run ~upsets ()
+          in
+          Indistinguishability.check ~n ~all_run:run ~s_run ~upsets = [])
+        (List.init n (fun i -> i)))
+
+let fuzz_appendix_claims =
+  prop "fuzz: appendix claims A.1-A.9 on random programs" (fun system ->
+      let n = fst system in
+      let run, program_of, assignment = execute system 17 in
+      let upsets = Upsets.compute ~n run.All_run.rounds in
+      List.for_all
+        (fun pid ->
+          let r = min (All_run.ops_of run ~pid) (All_run.num_rounds run) in
+          let s = Upsets.of_process upsets ~r ~pid in
+          let s_run =
+            S_run.execute ~n ~program_of ~assignment ~inits ~s ~all_run:run ~upsets ()
+          in
+          Claims.check ~n ~all_run:run ~s_run ~upsets = [])
+        (List.init n (fun i -> i)))
+
+let fuzz_round_invariants =
+  prop "fuzz: round structure invariants" (fun system ->
+      let n = fst system in
+      let run, _, _ = execute system 13 in
+      List.for_all
+        (fun (round : int Round.t) ->
+          (* Each participant that did not terminate during phase 1 has
+             exactly one event, with phases weakly ordered 2,3,4,5 along the
+             event list. *)
+          let event_pids = List.map (fun e -> e.Round.pid) round.Round.events in
+          let one_event_each =
+            List.for_all
+              (fun pid -> List.length (List.filter (( = ) pid) event_pids) <= 1)
+              (List.init n (fun i -> i))
+            && List.for_all (fun pid -> List.mem pid round.Round.participants) event_pids
+          in
+          let phases = List.map (fun e -> e.Round.phase) round.Round.events in
+          let rec sorted = function
+            | a :: (b :: _ as rest) -> a <= b && sorted rest
+            | [ _ ] | [] -> true
+          in
+          (* The move schedule is secretive and complete for the round's
+             move spec. *)
+          let sigma_ok =
+            Lb_secretive.Source_movers.is_secretive round.Round.move_spec round.Round.sigma
+          in
+          (* Phase tags match operation kinds. *)
+          let kinds_ok =
+            List.for_all
+              (fun e ->
+                match Op.kind e.Round.invocation, e.Round.phase with
+                | Op.Read, 2 | Op.Move_kind, 3 | Op.Swap_kind, 4 | Op.Sc_kind, 5 -> true
+                | _, _ -> false)
+              round.Round.events
+          in
+          one_event_each && sorted phases && sigma_ok && kinds_ok)
+        run.All_run.rounds)
+
+let fuzz_deterministic_replay =
+  prop "fuzz: (All, A)-run is replayable" (fun system ->
+      let run1, _, _ = execute system 5 in
+      let run2, _, _ = execute system 5 in
+      List.length run1.All_run.rounds = List.length run2.All_run.rounds
+      && List.for_all2
+           (fun (a : int Round.t) (b : int Round.t) ->
+             List.length a.Round.events = List.length b.Round.events
+             && List.for_all2
+                  (fun (x : Round.event) (y : Round.event) ->
+                    x.Round.pid = y.Round.pid
+                    && Op.equal_invocation x.Round.invocation y.Round.invocation
+                    && Op.equal_response x.Round.response y.Round.response)
+                  a.Round.events b.Round.events)
+           run1.All_run.rounds run2.All_run.rounds)
+
+let fuzz_s_run_full_replay =
+  prop "fuzz: S = everyone replays the (All, A)-run" (fun system ->
+      let n = fst system in
+      let run, program_of, assignment = execute system 3 in
+      let upsets = Upsets.compute ~n run.All_run.rounds in
+      let s_run =
+        S_run.execute ~n ~program_of ~assignment ~inits ~s:(Ids.range n) ~all_run:run ~upsets ()
+      in
+      s_run.S_run.results = run.All_run.results)
+
+let suite =
+  [
+    fuzz_lemma_5_1;
+    fuzz_indistinguishability;
+    fuzz_appendix_claims;
+    fuzz_round_invariants;
+    fuzz_deterministic_replay;
+    fuzz_s_run_full_replay;
+  ]

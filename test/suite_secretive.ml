@@ -1,0 +1,207 @@
+(* Tests for Section 4: move specs, source/movers semantics, and the
+   secretive complete schedule construction (Lemmas 4.1 and 4.2). *)
+
+open Lowerbound
+
+(* ---- Move_spec ---- *)
+
+let test_spec_basics () =
+  let spec = Move_spec.of_list [ (3, (0, 1)); (1, (2, 3)) ] in
+  Alcotest.(check (list int)) "procs sorted" [ 1; 3 ] (Move_spec.procs spec);
+  Alcotest.(check int) "size" 2 (Move_spec.size spec);
+  Alcotest.(check bool) "mem" true (Move_spec.mem spec 3);
+  Alcotest.(check bool) "not mem" false (Move_spec.mem spec 2);
+  Alcotest.(check (pair int int)) "op_of" (0, 1) (Move_spec.op_of spec 3);
+  Alcotest.(check (list int)) "sources" [ 0; 2 ] (Move_spec.sources spec);
+  Alcotest.(check (list int)) "destinations" [ 1; 3 ] (Move_spec.destinations spec)
+
+let test_spec_duplicate () =
+  Alcotest.check_raises "duplicate pid"
+    (Invalid_argument "Move_spec.of_list: duplicate process p1") (fun () ->
+      ignore (Move_spec.of_list [ (1, (0, 1)); (1, (2, 3)) ]))
+
+let test_spec_restrict () =
+  let spec = Move_spec.of_list [ (0, (0, 1)); (1, (1, 2)); (2, (2, 3)) ] in
+  let sub = Move_spec.restrict spec ~keep:(fun p -> p <> 1) in
+  Alcotest.(check (list int)) "restricted" [ 0; 2 ] (Move_spec.procs sub)
+
+(* ---- Source_movers ---- *)
+
+let test_source_movers_example () =
+  (* The paper's introduction example: p_i moves R_i -> R_{i+1}.  Scheduling
+     in id order chains everything: movers(R_n) has n processes. *)
+  let n = 5 in
+  let spec = Move_spec.of_list (List.init n (fun i -> (i, (i, i + 1)))) in
+  let chain = Source_movers.eval spec (List.init n (fun i -> i)) in
+  Alcotest.(check int) "source of R5 is R0" 0 (Source_movers.source chain 5);
+  Alcotest.(check (list int)) "movers chain" [ 0; 1; 2; 3; 4 ] (Source_movers.movers chain 5);
+  Alcotest.(check int) "max movers" 5 (Source_movers.max_movers chain);
+  (* The even-before-odd schedule from the paper keeps chains short. *)
+  let evens = List.filter (fun i -> i mod 2 = 0) (List.init n (fun i -> i)) in
+  let odds = List.filter (fun i -> i mod 2 = 1) (List.init n (fun i -> i)) in
+  let alt = Source_movers.eval spec (evens @ odds) in
+  Alcotest.(check bool) "alternating is secretive" true (Source_movers.max_movers alt <= 2);
+  (* R_i receives R_{i-1}'s original value if i odd, R_{i-2}'s if i even. *)
+  Alcotest.(check int) "R4 source" 2 (Source_movers.source alt 4);
+  Alcotest.(check int) "R3 source" 2 (Source_movers.source alt 3)
+
+let test_source_movers_untouched () =
+  let spec = Move_spec.of_list [ (0, (1, 2)) ] in
+  let s = Source_movers.eval spec [ 0 ] in
+  Alcotest.(check int) "untouched source" 9 (Source_movers.source s 9);
+  Alcotest.(check (list int)) "untouched movers" [] (Source_movers.movers s 9);
+  (* Source register of a move keeps its own identity. *)
+  Alcotest.(check int) "src unchanged" 1 (Source_movers.source s 1)
+
+let test_source_movers_overwrite () =
+  (* Two moves into the same register: only the last one counts. *)
+  let spec = Move_spec.of_list [ (0, (5, 9)); (1, (6, 9)) ] in
+  let s = Source_movers.eval spec [ 0; 1 ] in
+  Alcotest.(check int) "last wins" 6 (Source_movers.source s 9);
+  Alcotest.(check (list int)) "movers is last chain" [ 1 ] (Source_movers.movers s 9)
+
+let test_append_errors () =
+  let spec = Move_spec.of_list [ (0, (0, 1)) ] in
+  let s = Source_movers.start spec in
+  Source_movers.append s 0;
+  Alcotest.check_raises "double schedule"
+    (Invalid_argument "Source_movers.append: p0 already scheduled") (fun () ->
+      Source_movers.append s 0);
+  Alcotest.check_raises "unknown process"
+    (Invalid_argument "Source_movers.append: p7 not in move spec") (fun () ->
+      Source_movers.append s 7)
+
+let test_is_complete () =
+  let spec = Move_spec.of_list [ (0, (0, 1)); (1, (1, 2)) ] in
+  Alcotest.(check bool) "complete" true (Source_movers.is_complete spec [ 1; 0 ]);
+  Alcotest.(check bool) "missing" false (Source_movers.is_complete spec [ 1 ]);
+  Alcotest.(check bool) "foreign" false (Source_movers.is_complete spec [ 1; 0; 2 ])
+
+(* ---- Secretive construction (Lemma 4.1) ---- *)
+
+let check_secretive name spec =
+  let sigma = Secretive.build spec in
+  Alcotest.(check bool)
+    (name ^ ": complete")
+    true
+    (Source_movers.is_complete spec sigma);
+  Alcotest.(check bool) (name ^ ": secretive") true (Source_movers.is_secretive spec sigma)
+
+let test_build_chain () =
+  (* The adversarial chain topology that defeats the id-order schedule. *)
+  List.iter
+    (fun n ->
+      check_secretive
+        (Printf.sprintf "chain %d" n)
+        (Move_spec.of_list (List.init n (fun i -> (i, (i, i + 1))))))
+    [ 1; 2; 3; 7; 32; 101 ]
+
+let test_build_reverse_chain () =
+  List.iter
+    (fun n ->
+      check_secretive
+        (Printf.sprintf "reverse chain %d" n)
+        (Move_spec.of_list (List.init n (fun i -> (i, (i + 1, i))))))
+    [ 1; 2; 3; 7; 32 ]
+
+let test_build_star () =
+  (* Everyone moves into the same register. *)
+  check_secretive "star-in" (Move_spec.of_list (List.init 20 (fun i -> (i, (i + 1, 0)))));
+  (* Everyone moves out of the same register. *)
+  check_secretive "star-out" (Move_spec.of_list (List.init 20 (fun i -> (i, (0, i + 1)))))
+
+let test_build_cycle () =
+  (* R0 -> R1 -> ... -> R(n-1) -> R0: no fresh-source exit, stage 1 still
+     schedules group by group. *)
+  List.iter
+    (fun n ->
+      check_secretive
+        (Printf.sprintf "cycle %d" n)
+        (Move_spec.of_list (List.init n (fun i -> (i, (i, (i + 1) mod n))))))
+    [ 2; 3; 5; 16; 33 ]
+
+let test_self_moves_rejected () =
+  (* Self-moves would falsify Lemma 4.1 (three self-moves into one register
+     chain three movers under every schedule), so the model excludes them. *)
+  Alcotest.check_raises "self move"
+    (Invalid_argument "Move_spec.of_list: p0 has self-move R3->R3") (fun () ->
+      ignore (Move_spec.of_list [ (0, (3, 3)) ]))
+
+let test_build_empty () =
+  Alcotest.(check (list int)) "empty spec" [] (Secretive.build Move_spec.empty)
+
+let test_build_checked_ok () =
+  let spec = Move_spec.of_list (List.init 10 (fun i -> (i, (i, i + 1)))) in
+  Alcotest.(check int) "checked returns schedule" 10 (List.length (Secretive.build_checked spec))
+
+(* Property: Lemma 4.1 over random specs with varied register-space shapes. *)
+let arb_spec =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 60 >>= fun n ->
+      (* Register space smaller than n forces collisions. *)
+      int_range 1 (max 1 (n / 2 + 1)) >>= fun regs ->
+      let reg = int_range 0 regs in
+      list_repeat n (pair reg reg) >|= fun ops ->
+      (* Self-moves are excluded from the model; nudge collisions apart. *)
+      let fix (src, dst) = if src = dst then (src, dst + 1) else (src, dst) in
+      Move_spec.of_list (List.mapi (fun i op -> (i, fix op)) ops))
+  in
+  make ~print:(fun spec -> Format.asprintf "%a" Move_spec.pp spec) gen
+
+let prop_lemma_4_1 =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Lemma 4.1: build yields secretive complete schedule"
+       arb_spec (fun spec ->
+         let sigma = Secretive.build spec in
+         Source_movers.is_complete spec sigma && Source_movers.is_secretive spec sigma))
+
+(* Property: Lemma 4.2 — scheduling any superset of movers(R) (as a
+   subsequence of sigma) preserves source(R). *)
+let prop_lemma_4_2 =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"Lemma 4.2: movers subset preserves source"
+       QCheck.(pair arb_spec (QCheck.make QCheck.Gen.int))
+       (fun (spec, seed_arb) ->
+         let sigma = Secretive.build spec in
+         let full = Source_movers.eval spec sigma in
+         let st = Random.State.make [| seed_arb |] in
+         (* For every destination register: restrict sigma to its movers plus
+            a random sprinkle of other processes; source must be unchanged. *)
+         List.for_all
+           (fun reg ->
+             let movers = Source_movers.movers full reg in
+             let keep p = List.mem p movers || Random.State.bool st in
+             let sub = List.filter keep sigma in
+             let restricted = Source_movers.eval spec sub in
+             Source_movers.source restricted reg = Source_movers.source full reg)
+           (Move_spec.destinations spec)))
+
+(* Property: determinism of the construction. *)
+let prop_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"build is deterministic" arb_spec (fun spec ->
+         Secretive.build spec = Secretive.build spec))
+
+let suite =
+  [
+    Alcotest.test_case "move spec basics" `Quick test_spec_basics;
+    Alcotest.test_case "move spec duplicate" `Quick test_spec_duplicate;
+    Alcotest.test_case "move spec restrict" `Quick test_spec_restrict;
+    Alcotest.test_case "source/movers: paper example" `Quick test_source_movers_example;
+    Alcotest.test_case "source/movers: untouched registers" `Quick test_source_movers_untouched;
+    Alcotest.test_case "source/movers: overwrite" `Quick test_source_movers_overwrite;
+    Alcotest.test_case "append errors" `Quick test_append_errors;
+    Alcotest.test_case "is_complete" `Quick test_is_complete;
+    Alcotest.test_case "build: chain" `Quick test_build_chain;
+    Alcotest.test_case "build: reverse chain" `Quick test_build_reverse_chain;
+    Alcotest.test_case "build: star" `Quick test_build_star;
+    Alcotest.test_case "build: cycle" `Quick test_build_cycle;
+    Alcotest.test_case "self moves rejected" `Quick test_self_moves_rejected;
+    Alcotest.test_case "build: empty" `Quick test_build_empty;
+    Alcotest.test_case "build_checked" `Quick test_build_checked_ok;
+    prop_lemma_4_1;
+    prop_lemma_4_2;
+    prop_deterministic;
+  ]

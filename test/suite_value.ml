@@ -1,0 +1,106 @@
+(* Tests for Value: the structured, unbounded register contents. *)
+
+open Lowerbound
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let samples =
+  [
+    Value.Unit;
+    Value.Bool true;
+    Value.Bool false;
+    Value.Int 0;
+    Value.Int (-7);
+    Value.Int max_int;
+    Value.Str "";
+    Value.Str "hello";
+    Value.Pair (Value.Int 1, Value.Str "x");
+    Value.List [];
+    Value.List [ Value.Int 1; Value.Int 2 ];
+    Value.Bits (Bitvec.ones 17);
+    Value.Pair (Value.List [ Value.Unit ], Value.Pair (Value.Bool true, Value.Int 3));
+  ]
+
+let test_equal_reflexive () =
+  List.iter (fun v -> Alcotest.check value (Value.to_string v) v v) samples
+
+let test_equal_distinct () =
+  (* All samples are pairwise distinct. *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            Alcotest.(check bool)
+              (Printf.sprintf "distinct %d %d" i j)
+              false (Value.equal a b))
+        samples)
+    samples
+
+let test_compare_total_order () =
+  (* compare agrees with equal and is antisymmetric and transitive over the
+     sample set. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Value.compare a b in
+          Alcotest.(check bool) "antisym" true (c = -Value.compare b a);
+          Alcotest.(check bool) "equal iff zero" true (Value.equal a b = (c = 0)))
+        samples)
+    samples;
+  let sorted = List.sort Value.compare samples in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              if Value.compare a b <= 0 && Value.compare b c <= 0 then
+                Alcotest.(check bool) "transitive" true (Value.compare a c <= 0))
+            sorted)
+        sorted)
+    sorted
+
+let test_accessors () =
+  Alcotest.(check int) "to_int" 42 (Value.to_int (Value.int 42));
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Value.bool true));
+  Alcotest.(check string) "to_str" "s" (Value.to_str (Value.str "s"));
+  let a, b = Value.to_pair (Value.pair (Value.int 1) (Value.int 2)) in
+  Alcotest.check value "pair fst" (Value.int 1) a;
+  Alcotest.check value "pair snd" (Value.int 2) b;
+  let x, y, z = Value.to_triple (Value.triple (Value.int 1) (Value.int 2) (Value.int 3)) in
+  Alcotest.check value "triple 1" (Value.int 1) x;
+  Alcotest.check value "triple 2" (Value.int 2) y;
+  Alcotest.check value "triple 3" (Value.int 3) z;
+  Alcotest.(check int) "list len" 2 (List.length (Value.to_list (Value.list [ Value.unit; Value.unit ])))
+
+let test_accessor_errors () =
+  Alcotest.check_raises "to_int on Str" (Invalid_argument "Value: expected Int, got \"x\"")
+    (fun () -> ignore (Value.to_int (Value.str "x")));
+  Alcotest.check_raises "to_pair on Unit" (Invalid_argument "Value: expected Pair, got ()")
+    (fun () -> ignore (Value.to_pair Value.unit))
+
+let test_size () =
+  Alcotest.(check int) "scalar" 1 (Value.size (Value.int 5));
+  Alcotest.(check int) "pair" 3 (Value.size (Value.pair Value.unit Value.unit));
+  Alcotest.(check int) "list" 3 (Value.size (Value.list [ Value.unit; Value.unit ]));
+  Alcotest.(check int) "bits counts words" 16 (Value.size (Value.bits (Bitvec.ones 1000)));
+  Alcotest.(check int) "small bits" 1 (Value.size (Value.bits (Bitvec.ones 8)))
+
+let test_pp () =
+  Alcotest.(check string) "unit" "()" (Value.to_string Value.unit);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "pair" "(1, true)"
+    (Value.to_string (Value.pair (Value.int 1) (Value.bool true)))
+
+let suite =
+  [
+    Alcotest.test_case "equal reflexive" `Quick test_equal_reflexive;
+    Alcotest.test_case "samples pairwise distinct" `Quick test_equal_distinct;
+    Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "accessor errors" `Quick test_accessor_errors;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]
