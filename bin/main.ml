@@ -6,7 +6,8 @@
                        algorithm and print the full report
      corpus            list the wakeup algorithm corpus
      trace NAME -n N   print the round-by-round (All, A)-run of an algorithm
-     sweep CONSTR      complexity sweep of a universal construction *)
+     sweep CONSTR      complexity sweep of a universal construction
+     faults TARGET     certify wait-freedom under an injected fault plan *)
 
 open Lowerbound
 open Cmdliner
@@ -251,6 +252,83 @@ let profile_cmd =
        ~doc:"Contention profile (per-register access statistics) of a universal construction.")
     Term.(const run $ logging $ constr_arg $ n_arg)
 
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "What to certify: $(b,adt-tree), $(b,herlihy), $(b,consensus-list), $(b,direct) \
+             (a fetch&increment construction), $(b,all) for every construction, or a wakeup \
+             corpus entry name (see `lowerbound corpus`).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string "crash-stop"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: a named plan, several joined with $(b,+) (e.g. \
+             $(b,crash-stop+spurious-sc)), or $(b,all) to sweep every named plan.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "ops" ] ~docv:"K" ~doc:"Operations per process (construction targets only).")
+  in
+  let run () target n seed plan_name ops =
+    let plans =
+      if plan_name = "all" then Fault_plan.named ~n |> List.map snd
+      else
+        match Fault_plan.of_name ~n plan_name with
+        | Some p -> [ p ]
+        | None ->
+          failwith
+            (Printf.sprintf "unknown plan %S (one of: %s; join with '+', or 'all')" plan_name
+               (String.concat ", " Fault_plan.plan_names))
+    in
+    let certify_construction t plan =
+      let r = Faults.run ~target:t ~plan ~n ~seed ~ops_per_process:ops () in
+      Format.printf "%a@." Faults.pp_report r;
+      r.Faults.status
+    in
+    let certify_wakeup (entry : Corpus.entry) plan =
+      let r =
+        Faults.run_wakeup ~algorithm:entry.Corpus.name ~make:entry.Corpus.make ~plan ~n ~seed
+          ~randomized:entry.Corpus.randomized ()
+      in
+      Format.printf "%a@." Faults.pp_wakeup_report r;
+      r.Faults.wstatus
+    in
+    let statuses =
+      match target with
+      | "all" ->
+        List.concat_map
+          (fun t -> List.map (certify_construction t) plans)
+          Fault_targets.all
+      | _ -> (
+        match Fault_targets.find target with
+        | Some t -> List.map (certify_construction t) plans
+        | None ->
+          let entry = find_entry target in
+          List.map (certify_wakeup entry) plans)
+    in
+    let count s = List.length (List.filter (( = ) s) statuses) in
+    Format.printf "@.certified: %d  degraded: %d  violated: %d@." (count Faults.Certified)
+      (count Faults.Degraded) (count Faults.Violated);
+    if count Faults.Violated = 0 then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Certify wait-freedom under adversity: run a construction (or wakeup algorithm) under \
+          a fault plan — crashes, crash-recovery, spurious SC failures, delays, stalled \
+          regions — and report a structured per-process verdict (exit 3 on a certification \
+          violation).")
+    Term.(const run $ logging $ target_arg $ n_arg $ seed_arg $ plan_arg $ ops_arg)
+
 (* ---- explore ---- *)
 
 let explore_cmd =
@@ -293,7 +371,7 @@ let main_cmd =
     (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
     [
       exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
-      upsets_cmd;
+      upsets_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

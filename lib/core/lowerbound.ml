@@ -19,6 +19,9 @@
       {!Atomic}, {!History}: object types and linearizability;
     - {!Iface}, {!Adt_tree}, {!Herlihy}, {!Direct}, {!Harness},
       {!Complexity}: universal constructions and their measurement;
+    - {!Fault_plan}, {!Fault_engine}, {!Retry}, {!Fault_targets}, {!Faults}:
+      fault injection (crashes, recovery, weak LL/SC, delays) and the
+      wait-freedom-under-adversity certification driver;
     - {!Problem}, {!Reductions}, {!Direct_algorithms}, {!Randomized},
       {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus. *)
 
@@ -78,6 +81,13 @@ module Explore = Lb_check.Explore
 
 (* Extensions (Section 7) *)
 module Rmw = Lb_extensions.Rmw
+
+(* Fault injection and certification *)
+module Fault_plan = Lb_faults.Fault_plan
+module Fault_engine = Lb_faults.Fault_engine
+module Retry = Lb_faults.Retry
+module Fault_targets = Lb_faults.Targets
+module Faults = Lb_faults.Certify
 
 (* Wakeup *)
 module Problem = Lb_wakeup.Problem

@@ -1,0 +1,301 @@
+open Lb_memory
+open Lb_runtime
+open Lb_universal
+
+type status = Certified | Degraded | Violated
+
+type role = Survivor | Crashed | Recovered
+
+type process_report = {
+  pid : int;
+  role : role;
+  expected : int;
+  completed : int;
+  failed : int;
+  max_cost : int; (* worst completed-operation cost; 0 if none completed *)
+  bound : int; (* analytic worst case, relaxed x2 for recovered pids *)
+  within_bound : bool;
+  shared_ops : int; (* t(p, R) from the memory's accounting *)
+  spurious_sc : int;
+}
+
+type report = {
+  target : string;
+  plan : Fault_plan.t;
+  n : int;
+  seed : int;
+  status : status;
+  reasons : string list; (* certification violations *)
+  notes : string list; (* graceful degradations, reported not fatal *)
+  processes : process_report list;
+  spurious_injected : int;
+  restarts : int;
+  failures : Harness.op_failure list;
+  consistent : bool;
+  consistency : string; (* which consistency check ran *)
+  total_shared_ops : int;
+  raw : Harness.result;
+}
+
+let certified r = r.status <> Violated
+
+(* Fetch&increment responses of the completed operations must be distinct
+   and form 0 .. max with at most [holes] missing values — one hole per
+   operation that may have taken effect without responding (a crashed
+   process's in-flight operation, or a published-then-given-up one). *)
+let counter_consistent ~holes responses =
+  let sorted = List.sort_uniq Int.compare responses in
+  List.length sorted = List.length responses
+  && (match List.rev sorted with
+     | [] -> true
+     | max_v :: _ ->
+       List.for_all (fun v -> v >= 0) sorted
+       && max_v - (List.length sorted - 1) <= holes)
+
+let run ~target ~plan ~n ?(seed = 1) ?(ops_per_process = 1) () =
+  if n <= 0 then invalid_arg "Certify.run: n must be positive";
+  let spec = Lb_objects.Counters.fetch_inc ~bits:62 in
+  let engine = Fault_engine.instantiate ~seed plan in
+  let layout = Layout.create () in
+  let handle = target.Iface.create layout ~n spec in
+  let memory = Memory.create () in
+  Layout.install layout memory;
+  Fault_engine.arm engine memory;
+  let bound = target.Iface.worst_case ~n in
+  let fuel = (64 * n * ops_per_process * (bound + 8)) + Fault_plan.horizon plan in
+  let result =
+    Harness.run_handle ~memory ~handle ~n
+      ~ops:(fun _ -> List.init ops_per_process (fun _ -> Value.Unit))
+      ~scheduler:Scheduler.round_robin ~assignment:(Coin.uniform ~seed) ~fuel
+      ~hooks:(Fault_engine.hooks engine) ()
+  in
+  let in_range pids = List.filter (fun p -> p >= 0 && p < n) pids in
+  let stopped = in_range (Fault_plan.crash_stopped plan) in
+  let recovering = in_range (Fault_plan.crash_recovering plan) in
+  let role_of pid =
+    if List.mem pid stopped then Crashed
+    else if List.mem pid recovering then Recovered
+    else Survivor
+  in
+  let reasons = ref [] and notes = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let spurious_excused = Fault_plan.has_spurious plan in
+  let processes =
+    List.init n (fun pid ->
+        let role = role_of pid in
+        let mine = List.filter (fun (s : Harness.op_stat) -> s.Harness.pid = pid) result.Harness.stats in
+        let completed = List.length mine in
+        let failed =
+          List.length
+            (List.filter (fun (f : Harness.op_failure) -> f.Harness.pid = pid) result.Harness.failures)
+        in
+        let max_cost =
+          List.fold_left (fun acc (s : Harness.op_stat) -> max acc s.Harness.cost) 0 mine
+        in
+        let bound = match role with Recovered -> 2 * bound | Survivor | Crashed -> bound in
+        let within_bound = max_cost <= bound in
+        (match role with
+        | Survivor | Recovered ->
+          let who = match role with Recovered -> "recovered process" | _ -> "survivor" in
+          if completed + failed < ops_per_process then
+            violation "%s p%d starved: %d of %d operations unaccounted for" who pid
+              (ops_per_process - completed - failed) ops_per_process;
+          if failed > 0 then
+            if spurious_excused then
+              note "p%d gave up on %d operation(s) under injected spurious SC failures" pid failed
+            else violation "p%d gave up on %d operation(s) with no spurious faults to excuse it" pid failed;
+          if not within_bound then
+            if spurious_excused then
+              note "p%d exceeded the analytic bound (%d > %d) due to injected retries" pid max_cost
+                bound
+            else violation "p%d exceeded the analytic wait-free bound: %d > %d" pid max_cost bound
+        | Crashed ->
+          if completed < ops_per_process && failed = 0 then
+            note "crashed p%d left an operation in flight (helped or lost atomically)" pid);
+        {
+          pid;
+          role;
+          expected = ops_per_process;
+          completed;
+          failed;
+          max_cost;
+          bound;
+          within_bound;
+          shared_ops = Memory.ops_of memory ~pid;
+          spurious_sc = Fault_engine.spurious_of engine ~pid;
+        })
+  in
+  (* Consistency of the completed operations' responses.  Full
+     linearizability when every effect is accounted for in the history;
+     counter consistency (distinct responses, bounded holes) when crashed or
+     given-up operations may have taken effect without responding. *)
+  let in_flight_crashed =
+    List.filter (fun (p : process_report) -> p.role = Crashed && p.completed + p.failed < p.expected) processes
+    |> List.length
+  in
+  let holes = in_flight_crashed + List.length result.Harness.failures in
+  let consistent, consistency =
+    if holes = 0 && not (Fault_plan.has_crash plan) then
+      if n * ops_per_process <= 32 then
+        (Harness.check_linearizable ~spec result, "linearizable (Wing–Gong)")
+      else (true, "linearizability skipped (history too large)")
+    else
+      ( counter_consistent ~holes
+          (List.map (fun (s : Harness.op_stat) -> Value.to_int s.Harness.response) result.Harness.stats),
+        Printf.sprintf "counter-consistent modulo %d unaccounted operation(s)" holes )
+  in
+  if not consistent then violation "responses are not %s" consistency;
+  if Fault_engine.spurious_injected engine > 0 then
+    note "%d spurious SC failure(s) injected" (Fault_engine.spurious_injected engine);
+  if result.Harness.restarts > 0 then
+    note "%d crash-recovery re-invocation(s)" result.Harness.restarts;
+  let status =
+    if !reasons <> [] then Violated
+    else if List.exists (fun (p : process_report) -> p.failed > 0 || not p.within_bound) processes
+    then Degraded
+    else Certified
+  in
+  {
+    target = target.Iface.name;
+    plan;
+    n;
+    seed;
+    status;
+    reasons = List.rev !reasons;
+    notes = List.rev !notes;
+    processes;
+    spurious_injected = Fault_engine.spurious_injected engine;
+    restarts = result.Harness.restarts;
+    failures = result.Harness.failures;
+    consistent;
+    consistency;
+    total_shared_ops = result.Harness.total_shared_ops;
+    raw = result;
+  }
+
+let grid ~targets ~plans ~ns ?(seed = 1) ?(ops_per_process = 1) () =
+  List.concat_map
+    (fun target ->
+      List.concat_map
+        (fun plan -> List.map (fun n -> run ~target ~plan ~n ~seed ~ops_per_process ()) ns)
+        plans)
+    targets
+
+(* ---- wakeup certification (System-based, with run diagnostics) ---- *)
+
+type wakeup_report = {
+  algorithm : string;
+  wplan : Fault_plan.t;
+  wn : int;
+  wseed : int;
+  wstatus : status;
+  wreasons : string list;
+  wnotes : string list;
+  diagnostics : System.diagnostics;
+  results : (int * int) list; (* terminated pid -> returned value *)
+  woke : int list;
+  crashed_pids : int list;
+  false_claim : bool;
+}
+
+let run_wakeup ~algorithm ~make ~plan ~n ?(seed = 1) ?(randomized = false) ?fuel () =
+  if n <= 0 then invalid_arg "Certify.run_wakeup: n must be positive";
+  let program_of, inits = make ~n in
+  let memory = Memory.create () in
+  List.iter (fun (r, v) -> Memory.set_init memory r v) inits;
+  let engine = Fault_engine.instantiate ~seed plan in
+  Fault_engine.arm engine memory;
+  let assignment = if randomized then Coin.uniform ~seed else Coin.constant 0 in
+  let sys = System.create ~memory ~assignment ~n program_of in
+  let pending pid = Process.pending_op (System.process sys pid) in
+  let choice = Fault_engine.choice engine ~pending Scheduler.round_robin in
+  let fuel = Option.value ~default:((1000 * n) + Fault_plan.horizon plan) fuel in
+  let diagnostics = System.run_diagnosed sys choice ~fuel in
+  let results =
+    System.results sys |> Array.to_list
+    |> List.mapi (fun pid r -> Option.map (fun v -> (pid, v)) r)
+    |> List.filter_map Fun.id
+  in
+  let woke = List.filter_map (fun (pid, v) -> if v = 1 then Some pid else None) results in
+  let crashed_pids = Ids.elements (Fault_engine.crashed engine) in
+  let zero_step =
+    List.filter_map
+      (fun (pid, k) ->
+        if k = 0 && List.mem pid diagnostics.System.unfinished then Some pid else None)
+      diagnostics.System.ops_per_process
+  in
+  let reasons = ref [] and notes = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  List.iter
+    (fun (pid, v) -> if v <> 0 && v <> 1 then violation "p%d returned %d (not 0/1)" pid v)
+    results;
+  (match woke, zero_step with
+  | winner :: _, _ :: _ ->
+    violation "p%d claimed wakeup while {%s} never took a shared-memory step" winner
+      (String.concat ", " (List.map (Printf.sprintf "p%d") zero_step))
+  | _, _ -> ());
+  List.iter
+    (fun pid ->
+      if not (List.mem pid crashed_pids) then
+        violation "survivor p%d did not terminate (%s)" pid
+          (Format.asprintf "%a" System.pp_outcome diagnostics.System.outcome))
+    diagnostics.System.unfinished;
+  if crashed_pids <> [] && woke = [] && !reasons = [] then
+    note "wakeup unattained under crashes — survivors declined to claim it (graceful)";
+  let wstatus = if !reasons <> [] then Violated else if !notes <> [] then Degraded else Certified in
+  {
+    algorithm;
+    wplan = plan;
+    wn = n;
+    wseed = seed;
+    wstatus;
+    wreasons = List.rev !reasons;
+    wnotes = List.rev !notes;
+    diagnostics;
+    results;
+    woke;
+    crashed_pids;
+    false_claim = woke <> [] && zero_step <> [];
+  }
+
+(* ---- printing ---- *)
+
+let status_string = function
+  | Certified -> "CERTIFIED"
+  | Degraded -> "DEGRADED"
+  | Violated -> "VIOLATED"
+
+let pp_status ppf s = Format.pp_print_string ppf (status_string s)
+
+let role_string = function Survivor -> "survivor" | Crashed -> "crashed" | Recovered -> "recovered"
+
+let pp_process ppf (p : process_report) =
+  Format.fprintf ppf "p%-3d | %-9s | %5d/%d | %6d | %5s | %5d | %6d | %8d" p.pid
+    (role_string p.role) p.completed p.expected p.failed
+    (if p.completed = 0 then "-" else string_of_int p.max_cost)
+    p.bound p.shared_ops p.spurious_sc
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s under %s (n = %d, seed = %d): %a@ " r.target
+    (Fault_plan.name r.plan) r.n r.seed pp_status r.status;
+  Format.fprintf ppf "consistency: %s -> %b; spurious injected: %d; restarts: %d; total ops: %d@ "
+    r.consistency r.consistent r.spurious_injected r.restarts r.total_shared_ops;
+  Format.fprintf ppf "pid  | role      |  done  | failed | worst | bound | t(p,R) | spurious@ ";
+  Format.fprintf ppf "%s@ " (String.make 74 '-');
+  List.iter (fun p -> Format.fprintf ppf "%a@ " pp_process p) r.processes;
+  List.iter (fun s -> Format.fprintf ppf "violation: %s@ " s) r.reasons;
+  List.iter (fun s -> Format.fprintf ppf "note: %s@ " s) r.notes;
+  Format.fprintf ppf "@]"
+
+let pp_wakeup_report ppf r =
+  Format.fprintf ppf "@[<v>%s under %s (n = %d, seed = %d): %a@ " r.algorithm
+    (Fault_plan.name r.wplan) r.wn r.wseed pp_status r.wstatus;
+  Format.fprintf ppf "run: %a@ " System.pp_diagnostics r.diagnostics;
+  Format.fprintf ppf "woke: {%s}; crashed: {%s}@ "
+    (String.concat ", " (List.map (Printf.sprintf "p%d") r.woke))
+    (String.concat ", " (List.map (Printf.sprintf "p%d") r.crashed_pids));
+  List.iter (fun s -> Format.fprintf ppf "violation: %s@ " s) r.wreasons;
+  List.iter (fun s -> Format.fprintf ppf "note: %s@ " s) r.wnotes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,124 @@
+(** Certification driver: runs constructions (and wakeup algorithms) under
+    fault plans and returns structured verdicts instead of raising.
+
+    A run is {e certified} when every non-crashed process completed its
+    operations within the construction's analytic wait-free bound and the
+    completed responses are consistent; {e degraded} when injected adversity
+    forced a reported give-up or a bound excess that the plan excuses
+    (spurious SC failures break wait-freedom of lock-free retry loops by
+    design — the requirement is that the implementation reports it
+    gracefully); {e violated} when a survivor starved, a recovered process
+    never finished, an operation gave up with no spurious faults to excuse
+    it, or the responses are inconsistent. *)
+
+open Lb_runtime
+open Lb_universal
+
+type status = Certified | Degraded | Violated
+
+type role = Survivor | Crashed | Recovered
+
+type process_report = {
+  pid : int;
+  role : role;
+  expected : int;
+  completed : int;
+  failed : int;
+  max_cost : int;  (** worst completed-operation cost; 0 if none completed. *)
+  bound : int;  (** analytic worst case; relaxed x2 for recovered pids. *)
+  within_bound : bool;
+  shared_ops : int;  (** the paper's t(p, R), from the memory's accounting. *)
+  spurious_sc : int;  (** spurious SC failures injected against this pid. *)
+}
+
+type report = {
+  target : string;
+  plan : Fault_plan.t;
+  n : int;
+  seed : int;
+  status : status;
+  reasons : string list;  (** certification violations. *)
+  notes : string list;  (** graceful degradations — reported, not fatal. *)
+  processes : process_report list;
+  spurious_injected : int;
+  restarts : int;
+  failures : Harness.op_failure list;
+  consistent : bool;
+  consistency : string;  (** which consistency check ran. *)
+  total_shared_ops : int;
+  raw : Harness.result;
+}
+
+val certified : report -> bool
+(** [status <> Violated] — degraded-but-reported passes certification. *)
+
+val run :
+  target:Iface.t ->
+  plan:Fault_plan.t ->
+  n:int ->
+  ?seed:int ->
+  ?ops_per_process:int ->
+  unit ->
+  report
+(** One certification run of a fetch&increment workload ([ops_per_process]
+    operations per process, default 1) under the plan.  Consistency check:
+    full linearizability when every effect is accounted for in the history;
+    counter consistency (distinct responses with at most one hole per
+    unaccounted operation) when crashed or given-up operations may have
+    taken effect without responding. *)
+
+val grid :
+  targets:Iface.t list ->
+  plans:Fault_plan.t list ->
+  ns:int list ->
+  ?seed:int ->
+  ?ops_per_process:int ->
+  unit ->
+  report list
+(** The sweep: targets x plans x n. *)
+
+(** {1 Wakeup certification}
+
+    Wakeup algorithms run whole programs under {!Lb_runtime.System}, so
+    their certification is built on {!Lb_runtime.System.run_diagnosed} and
+    {!Fault_engine.choice} rather than the harness: crash-recovery resumes
+    in place (checkpointed local state) instead of re-invoking. *)
+
+type wakeup_report = {
+  algorithm : string;
+  wplan : Fault_plan.t;
+  wn : int;
+  wseed : int;
+  wstatus : status;
+  wreasons : string list;
+  wnotes : string list;
+  diagnostics : System.diagnostics;
+  results : (int * int) list;  (** terminated pid -> returned value. *)
+  woke : int list;  (** pids that returned 1. *)
+  crashed_pids : int list;
+  false_claim : bool;
+      (** someone claimed wakeup while another process never took a
+          shared-memory step — the correctness violation the lower bound's
+          adversary manufactures. *)
+}
+
+val run_wakeup :
+  algorithm:string ->
+  make:(n:int -> (int -> int Lb_runtime.Program.t) * (int * Lb_memory.Value.t) list) ->
+  plan:Fault_plan.t ->
+  n:int ->
+  ?seed:int ->
+  ?randomized:bool ->
+  ?fuel:int ->
+  unit ->
+  wakeup_report
+(** [make ~n] yields the per-pid program and the initial register values
+    (the {!Lb_wakeup.Problem} instance shape).  [randomized] selects a
+    seeded uniform coin assignment instead of the constant one. *)
+
+(** {1 Printing} *)
+
+val status_string : status -> string
+val pp_status : Format.formatter -> status -> unit
+val pp_report : Format.formatter -> report -> unit
+val pp_wakeup_report : Format.formatter -> wakeup_report -> unit

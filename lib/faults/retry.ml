@@ -1,0 +1,28 @@
+open Lb_runtime
+open Program.Syntax
+
+type 'a outcome = Completed of { result : 'a; attempts : int } | Exhausted of { attempts : int }
+
+let attempts = function Completed { attempts; _ } | Exhausted { attempts } -> attempts
+
+let rec tosses k = if k <= 0 then Program.return () else Program.bind Program.toss (fun _ -> tosses (k - 1))
+
+let bounded ?(backoff = fun ~attempt:_ -> 0) ~max_attempts body =
+  if max_attempts <= 0 then invalid_arg "Retry.bounded: max_attempts must be positive";
+  let rec go attempt =
+    let* outcome = body ~attempt in
+    match outcome with
+    | Some result -> Program.return (Completed { result; attempts = attempt })
+    | None ->
+      if attempt >= max_attempts then Program.return (Exhausted { attempts = attempt })
+      else
+        let* () = tosses (backoff ~attempt) in
+        go (attempt + 1)
+  in
+  go 1
+
+let exn_or ~label outcome =
+  match outcome with
+  | Completed { result; _ } -> result
+  | Exhausted { attempts } ->
+    failwith (Printf.sprintf "%s: gave up after %d attempts (SC never succeeded)" label attempts)

@@ -1,0 +1,34 @@
+(** Bounded retry with backoff, as a program combinator.
+
+    Unlike {!Lb_runtime.Program.retry_until} — which raises on exhaustion,
+    because in the fault-free model exceeding a helping bound is a bug —
+    this combinator returns the exhaustion as a value, so programs running
+    under injected faults (spurious SC failures, adversarial delays) can
+    degrade gracefully and report their retry count.
+
+    Accounting: every attempt's shared-memory operations run through the
+    ordinary {!Lb_memory.Memory.apply} path, so retries count toward the
+    paper's per-process shared-access time t(p, R) exactly like first
+    tries.  Backoff steps are local coin tosses: free in the shared-access
+    measure, but visible to (and schedulable by) the adversary. *)
+
+open Lb_runtime
+
+type 'a outcome = Completed of { result : 'a; attempts : int } | Exhausted of { attempts : int }
+
+val attempts : 'a outcome -> int
+
+val bounded :
+  ?backoff:(attempt:int -> int) ->
+  max_attempts:int ->
+  (attempt:int -> 'a option Program.t) ->
+  'a outcome Program.t
+(** [bounded ~max_attempts body] runs [body ~attempt] (attempts numbered
+    from 1) until it yields [Some x] or [max_attempts] attempts are spent.
+    Between attempts, [backoff ~attempt] local coin tosses are performed
+    (default none). *)
+
+val exn_or : label:string -> 'a outcome -> 'a
+(** Unwrap, raising [Failure "<label>: gave up after k attempts ..."] on
+    exhaustion — for contexts (the certification harness) that convert the
+    failure into a structured, per-operation report entry. *)

@@ -1,5 +1,20 @@
 type event = { pid : int; invocation : Op.invocation; response : Op.response }
 
+exception Self_move of { pid : int; reg : int }
+
+let () =
+  Printexc.register_printer (function
+    | Self_move { pid; reg } ->
+      Some
+        (Printf.sprintf
+           "Memory.Self_move: p%d issued move(R%d, R%d) — self-moves are excluded from the model"
+           pid reg reg)
+    | _ -> None)
+
+type directive = Proceed | Fail_sc
+
+type interposer = pid:int -> Op.invocation -> directive
+
 type t = {
   regs : (int, Register.t) Hashtbl.t;
   default : Value.t;
@@ -7,10 +22,21 @@ type t = {
   mutable total : int;
   log_enabled : bool;
   mutable log : event list; (* newest first *)
+  mutable interposer : interposer option;
 }
 
 let create ?(default = Value.Unit) ?(log = false) () =
-  { regs = Hashtbl.create 64; default; counts = Hashtbl.create 16; total = 0; log_enabled = log; log = [] }
+  {
+    regs = Hashtbl.create 64;
+    default;
+    counts = Hashtbl.create 16;
+    total = 0;
+    log_enabled = log;
+    log = [];
+    interposer = None;
+  }
+
+let set_interposer m i = m.interposer <- i
 
 let register m r =
   if r < 0 then invalid_arg (Printf.sprintf "Memory: negative register index %d" r);
@@ -29,6 +55,9 @@ let count m pid =
   Hashtbl.replace m.counts pid (c + 1)
 
 let apply m ~pid invocation =
+  let directive =
+    match m.interposer with None -> Proceed | Some f -> f ~pid invocation
+  in
   let response =
     match invocation with
     | Op.Ll r ->
@@ -38,11 +67,18 @@ let apply m ~pid invocation =
     | Op.Sc (r, v) ->
       let reg = register m r in
       let old = Register.value reg in
-      if Register.linked reg pid then begin
-        Register.write reg v;
-        Op.Flagged (true, old)
-      end
-      else Op.Flagged (false, old)
+      (match directive with
+      | Fail_sc ->
+        (* Weak LL/SC: the SC fails spuriously.  Nothing changes — in
+           particular the Pset keeps [pid]'s link, so a retried SC can still
+           succeed. *)
+        Op.Flagged (false, old)
+      | Proceed ->
+        if Register.linked reg pid then begin
+          Register.write reg v;
+          Op.Flagged (true, old)
+        end
+        else Op.Flagged (false, old))
     | Op.Validate r ->
       let reg = register m r in
       Op.Flagged (Register.linked reg pid, Register.value reg)
@@ -52,8 +88,7 @@ let apply m ~pid invocation =
       Register.write reg v;
       Op.Value old
     | Op.Move (src, dst) ->
-      if src = dst then
-        invalid_arg (Printf.sprintf "Memory: move with equal registers R%d" src);
+      if src = dst then raise (Self_move { pid; reg = src });
       let sv = Register.value (register m src) in
       Register.write (register m dst) sv;
       Op.Ack

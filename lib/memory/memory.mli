@@ -16,11 +16,35 @@
       becomes [∅], returns [ack]; [Rs] (value and Pset) is unchanged.
       [Rs] and [Rd] must be distinct (see {!Lb_secretive.Move_spec.of_list}
       for why the model excludes self-moves); [apply] raises
-      [Invalid_argument] otherwise. *)
+      {!Self_move} otherwise. *)
 
 type t
 
 type event = { pid : int; invocation : Op.invocation; response : Op.response }
+
+exception Self_move of { pid : int; reg : int }
+(** Raised by {!apply} when process [pid] issues [move(R, R)] on register
+    [reg].  Self-moves are value no-ops excluded from the model (they break
+    Lemma 4.1 — see DESIGN.md §4b). *)
+
+(** {1 Fault interposition}
+
+    The paper's memory is {e strong} LL/SC: an SC by [p] succeeds iff
+    [p ∈ Pset].  Real machines expose {e weak} LL/SC, where an SC may fail
+    spuriously.  An interposer, consulted on every {!apply}, can inject that
+    weakness: answering [Fail_sc] to an [SC] makes it return [(false, u)]
+    {e without} writing and {e without} clearing the Pset — so the link
+    survives and a retried SC can still succeed.  [Fail_sc] is ignored for
+    non-SC operations.  The fault-injection layer ({!Lb_faults.Fault_engine})
+    builds interposers from declarative fault plans. *)
+
+type directive = Proceed | Fail_sc
+
+type interposer = pid:int -> Op.invocation -> directive
+
+val set_interposer : t -> interposer option -> unit
+(** Install (or with [None] remove) the interposer.  At most one is active;
+    composition happens at the fault-plan layer. *)
 
 val create : ?default:Value.t -> ?log:bool -> unit -> t
 (** Fresh memory.  Registers that have never been written read as [default]

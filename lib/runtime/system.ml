@@ -34,20 +34,42 @@ let step t ~pid =
 
 type outcome = All_terminated | Out_of_fuel | Stalled
 
-let run t choice ~fuel =
+type diagnostics = {
+  outcome : outcome;
+  steps : int;
+  last_scheduled : int option;
+  ops_per_process : (int * int) list;
+  unfinished : int list;
+}
+
+let run_diagnosed t choice ~fuel =
+  let last = ref None in
   let rec go step_index remaining =
     match runnable t with
-    | [] -> All_terminated
+    | [] -> (All_terminated, step_index)
     | runnable_pids ->
-      if remaining = 0 then Out_of_fuel
+      if remaining = 0 then (Out_of_fuel, step_index)
       else (
         match choice ~step:step_index ~runnable:runnable_pids with
-        | None -> Stalled
+        | None -> (Stalled, step_index)
         | Some pid ->
+          last := Some pid;
           step t ~pid;
           go (step_index + 1) (remaining - 1))
   in
-  go 0 fuel
+  let outcome, steps = go 0 fuel in
+  {
+    outcome;
+    steps;
+    last_scheduled = !last;
+    ops_per_process =
+      Array.to_list (Array.map (fun p -> (Process.id p, Process.shared_ops p)) t.processes);
+    unfinished =
+      Array.to_list t.processes
+      |> List.filter_map (fun p -> if Process.is_terminated p then None else Some (Process.id p));
+  }
+
+let run t choice ~fuel = (run_diagnosed t choice ~fuel).outcome
 
 let results t =
   Array.map
@@ -63,3 +85,16 @@ let pp_outcome ppf = function
   | All_terminated -> Format.pp_print_string ppf "all terminated"
   | Out_of_fuel -> Format.pp_print_string ppf "out of fuel"
   | Stalled -> Format.pp_print_string ppf "stalled"
+
+let pp_diagnostics ppf d =
+  Format.fprintf ppf "%a after %d steps" pp_outcome d.outcome d.steps;
+  (match d.last_scheduled with
+  | Some pid -> Format.fprintf ppf "; last scheduled p%d" pid
+  | None -> Format.fprintf ppf "; nothing was ever scheduled");
+  Format.fprintf ppf "; ops:";
+  List.iter (fun (pid, k) -> Format.fprintf ppf " p%d=%d" pid k) d.ops_per_process;
+  match d.unfinished with
+  | [] -> ()
+  | pids ->
+    Format.fprintf ppf "; unfinished: {%s}"
+      (String.concat ", " (List.map (Printf.sprintf "p%d") pids))

@@ -34,9 +34,26 @@ val step : 'a t -> pid:int -> unit
 
 type outcome = All_terminated | Out_of_fuel | Stalled
 
+type diagnostics = {
+  outcome : outcome;
+  steps : int;  (** shared-memory steps actually executed. *)
+  last_scheduled : int option;  (** pid of the last scheduled process. *)
+  ops_per_process : (int * int) list;
+      (** [(pid, shared ops)] in id order — the paper's [t(p, R)] per
+          process. *)
+  unfinished : int list;  (** pids that never terminated, in id order. *)
+}
+
 val run : 'a t -> Scheduler.choice -> fuel:int -> outcome
 (** Drive the system until every process terminates, the scheduler stalls,
     or [fuel] shared-memory steps have been executed. *)
+
+val run_diagnosed : 'a t -> Scheduler.choice -> fuel:int -> diagnostics
+(** Like {!run} but the outcome carries diagnostics — who was scheduled
+    last, how many shared operations each process performed, and who never
+    finished.  This is what fault-certification reports are built from:
+    an [Out_of_fuel] or [Stalled] outcome alone says nothing about {e which}
+    process starved. *)
 
 val results : 'a t -> 'a option array
 (** Per-process results; [None] for processes still running. *)
@@ -45,3 +62,4 @@ val result_exn : 'a t -> int -> 'a
 (** Result of a terminated process; raises [Invalid_argument] otherwise. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+val pp_diagnostics : Format.formatter -> diagnostics -> unit

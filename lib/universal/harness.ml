@@ -11,8 +11,28 @@ type op_stat = {
   cost : int;
 }
 
+type op_failure = {
+  pid : int;
+  seq : int;
+  op : Value.t;
+  reason : string;
+  cost : int;
+  invoked : int;
+  gave_up : int;
+}
+
+type fault_hooks = {
+  filter :
+    step:int -> pending:(int -> Op.invocation option) -> runnable:int list -> int list;
+  note_step : step:int -> pid:int -> unit;
+  recover : step:int -> int list;
+  may_unblock : step:int -> bool;
+}
+
 type result = {
   stats : op_stat list;
+  failures : op_failure list;
+  restarts : int;
   max_cost : int;
   mean_cost : float;
   total_shared_ops : int;
@@ -22,17 +42,23 @@ type result = {
 }
 
 (* Per-process driver state: the current operation runs in a fresh
-   [Process.t] so its shared-op count is exactly the operation's cost. *)
+   [Process.t] so its shared-op count is exactly the operation's cost.
+   [lost] accumulates the shared ops of attempts abandoned by a
+   crash-recovery restart, so the final stat still accounts every operation
+   toward the paper's t(R). *)
 type slot = {
   pid : int;
   mutable queue : Value.t list;
   mutable seq : int;
   mutable current : (Value.t * Value.t Process.t * int (* invoked at *)) option;
+  mutable lost : int;
 }
 
 let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
-    ?(assignment = Coin.constant 0) ?fuel () =
-  let slots = Array.init n (fun pid -> { pid; queue = ops pid; seq = 0; current = None }) in
+    ?(assignment = Coin.constant 0) ?fuel ?hooks () =
+  let slots =
+    Array.init n (fun pid -> { pid; queue = ops pid; seq = 0; current = None; lost = 0 })
+  in
   (* The clock ticks at every invocation, every shared-memory operation, and
      every response, so distinct events never share a timestamp and the
      real-time precedence fed to the linearizability checker is exact. *)
@@ -42,6 +68,8 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
     !clock
   in
   let stats = ref [] in
+  let failures = ref [] in
+  let restarts = ref 0 in
   let start_next slot =
     match slot.queue with
     | [] -> ()
@@ -49,6 +77,7 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
       slot.queue <- rest;
       let program = handle.Iface.apply ~pid:slot.pid ~seq:slot.seq op in
       slot.current <- Some (op, Process.create ~id:slot.pid program, tick ());
+      slot.lost <- 0;
       slot.seq <- slot.seq + 1
   in
   Array.iter start_next slots;
@@ -61,47 +90,111 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
         response;
         invoked;
         responded = tick ();
-        cost = Process.shared_ops proc;
+        cost = Process.shared_ops proc + slot.lost;
       }
       :: !stats;
     slot.current <- None;
     start_next slot
   in
+  let fail slot op (proc : Value.t Process.t) invoked reason =
+    failures :=
+      {
+        pid = slot.pid;
+        seq = slot.seq - 1;
+        op;
+        reason;
+        cost = Process.shared_ops proc + slot.lost;
+        invoked;
+        gave_up = tick ();
+      }
+      :: !failures;
+    slot.current <- None;
+    start_next slot
+  in
+  (* Advance a slot's process through its local coin tosses; operations that
+     terminate on local steps alone (zero shared cost) complete here, which
+     may immediately start — and settle — the slot's next operation. *)
+  let rec settle slot =
+    match slot.current with
+    | None -> ()
+    | Some (op, proc, invoked) ->
+      Process.advance_local proc assignment;
+      (match Process.status proc with
+      | Process.Terminated response ->
+        finish slot op proc invoked response;
+        settle slot
+      | Process.Running -> ())
+  in
   let runnable () =
+    Array.iter settle slots;
     Array.to_list slots |> List.filter_map (fun s -> Option.map (fun _ -> s.pid) s.current)
+  in
+  let pending pid =
+    match slots.(pid).current with
+    | Some (_, proc, _) -> Process.pending_op proc
+    | None -> None
+  in
+  (* Crash-recovery restart: the in-flight operation is re-invoked from
+     scratch with the same (pid, seq) descriptor — the model of a process
+     that lost its volatile state and retries its pending operation. *)
+  let restart pid =
+    let slot = slots.(pid) in
+    match slot.current with
+    | None -> ()
+    | Some (op, proc, invoked) ->
+      slot.lost <- slot.lost + Process.shared_ops proc;
+      let program = handle.Iface.apply ~pid ~seq:(slot.seq - 1) op in
+      slot.current <- Some (op, Process.create ~id:pid program, invoked);
+      incr restarts
   in
   let total_ops = Array.fold_left (fun acc s -> acc + List.length s.queue + 1) 0 slots in
   let default_fuel = 64 * total_ops * (n + Adt_tree.levels n + 8) in
   let fuel = Option.value ~default:default_fuel fuel in
+  let exec slot op proc invoked =
+    match (try Ok (Process.exec_op proc memory ~round:(-1)) with Failure msg -> Error msg) with
+    | Error msg -> fail slot op proc invoked msg
+    | Ok _ ->
+      ignore (tick ());
+      (match Process.status proc with
+      | Process.Terminated response -> finish slot op proc invoked response
+      | Process.Running -> ())
+  in
   let rec drive step remaining =
+    (match hooks with
+    | Some h -> List.iter restart (h.recover ~step)
+    | None -> ());
     match runnable () with
     | [] -> true
     | pids ->
       if remaining = 0 then false
       else (
-        match scheduler ~step ~runnable:pids with
-        | None -> false
-        | Some pid ->
-          let slot = slots.(pid) in
-          (match slot.current with
-          | None -> assert false
-          | Some (op, proc, invoked) ->
-            Process.advance_local proc assignment;
-            (match Process.status proc with
-            | Process.Terminated response ->
-              (* Terminated on local steps alone (possible for zero-cost ops). *)
-              finish slot op proc invoked response
-            | Process.Running ->
-              ignore (Process.exec_op proc memory ~round:(-1));
-              ignore (tick ());
-              (match Process.status proc with
-              | Process.Terminated response -> finish slot op proc invoked response
-              | Process.Running -> ())));
-          drive (step + 1) (remaining - 1))
+        let allowed =
+          match hooks with
+          | Some h -> h.filter ~step ~pending ~runnable:pids
+          | None -> pids
+        in
+        match allowed with
+        | [] ->
+          (* Everyone left is crashed, delayed or stalled.  Tick idly while a
+             recovery or window expiry can still unblock the run. *)
+          (match hooks with
+          | Some h when h.may_unblock ~step -> drive (step + 1) (remaining - 1)
+          | Some _ | None -> false)
+        | _ :: _ -> (
+          match scheduler ~step ~runnable:allowed with
+          | None -> false
+          | Some pid ->
+            let slot = slots.(pid) in
+            (match slot.current with
+            | None -> assert false
+            | Some (op, proc, invoked) ->
+              exec slot op proc invoked;
+              (match hooks with Some h -> h.note_step ~step ~pid | None -> ()));
+            drive (step + 1) (remaining - 1)))
   in
   let completed = drive 0 fuel in
   let stats = List.rev !stats in
-  let costs = List.map (fun s -> s.cost) stats in
+  let costs = List.map (fun (s : op_stat) -> s.cost) stats in
   let max_cost = List.fold_left max 0 costs in
   let mean_cost =
     if stats = [] then 0.0
@@ -116,6 +209,8 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
   in
   {
     stats;
+    failures = List.rev !failures;
+    restarts = !restarts;
     max_cost;
     mean_cost;
     total_shared_ops = Memory.total_ops memory;
@@ -124,12 +219,12 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
     history;
   }
 
-let run ~construction ~spec ~n ~ops ?scheduler ?fuel () =
+let run ~construction ~spec ~n ~ops ?scheduler ?fuel ?hooks () =
   let layout = Layout.create () in
   let handle = construction.Iface.create layout ~n spec in
   let memory = Memory.create () in
   Layout.install layout memory;
-  run_handle ~memory ~handle ~n ~ops ?scheduler ?fuel ()
+  run_handle ~memory ~handle ~n ~ops ?scheduler ?fuel ?hooks ()
 
 let check_linearizable ~spec result =
   Lb_objects.History.is_linearizable spec result.history

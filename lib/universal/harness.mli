@@ -21,11 +21,52 @@ type op_stat = {
   response : Value.t;
   invoked : int;
   responded : int;
-  cost : int;  (** shared-memory operations this operation took. *)
+  cost : int;
+      (** shared-memory operations this operation took, including work lost
+          to crash-recovery restarts. *)
+}
+
+type op_failure = {
+  pid : int;
+  seq : int;
+  op : Value.t;
+  reason : string;  (** the [Failure] message the operation gave up with. *)
+  cost : int;  (** shared ops spent before giving up — still part of t(R). *)
+  invoked : int;
+  gave_up : int;
+}
+(** An operation that raised [Failure] mid-run — e.g. a bounded retry loop
+    exhausted by injected spurious SC failures.  The driver records it and
+    moves on instead of crashing: graceful degradation, so a certification
+    sweep can report the failure rather than die on it. *)
+
+(** Fault interposition points of the driver, all optional (see
+    {!Lb_faults.Fault_engine} for the implementation built on top):
+    - [filter] restricts which runnable pids may be scheduled this step
+      (crash-stop, crash-recovery windows, delays, stalled regions).
+      [pending] exposes each runnable process's next shared-memory
+      operation, so region stalls can look at target registers.
+    - [note_step] is called after a pid executed one shared-memory step —
+      the accurate per-process step count (scheduling decisions alone would
+      overcount processes advanced only through local tosses).
+    - [recover] names pids whose in-flight operation must be restarted from
+      scratch this step (crash-recovery: volatile state lost, the operation
+      is re-invoked with the same (pid, seq) descriptor).
+    - [may_unblock] tells the driver whether an all-blocked configuration
+      can still unblock later (pending recovery or window expiry); if not,
+      the run stalls immediately instead of burning fuel. *)
+type fault_hooks = {
+  filter :
+    step:int -> pending:(int -> Op.invocation option) -> runnable:int list -> int list;
+  note_step : step:int -> pid:int -> unit;
+  recover : step:int -> int list;
+  may_unblock : step:int -> bool;
 }
 
 type result = {
   stats : op_stat list;  (** in global response order. *)
+  failures : op_failure list;  (** operations that gave up, in give-up order. *)
+  restarts : int;  (** crash-recovery re-invocations performed. *)
   max_cost : int;
   mean_cost : float;
   total_shared_ops : int;
@@ -42,6 +83,7 @@ val run_handle :
   ?scheduler:Scheduler.choice ->
   ?assignment:Coin.assignment ->
   ?fuel:int ->
+  ?hooks:fault_hooks ->
   unit ->
   result
 (** Drive a pre-installed handle ([memory] must already contain the layout's
@@ -54,6 +96,7 @@ val run :
   ops:(int -> Value.t list) ->
   ?scheduler:Scheduler.choice ->
   ?fuel:int ->
+  ?hooks:fault_hooks ->
   unit ->
   result
 (** Instantiate the construction on a fresh memory and drive it. *)

@@ -34,3 +34,31 @@ let lucky ~threshold ~n =
     else collect pid
   in
   (program_of, inits)
+
+(* Fault-plan duals.  Each cheater truncates its own collect; the dual plan
+   keeps the algorithm honest (naive collect) and moves the truncation into
+   the environment — the adversary crash-stops processes at the same step
+   budget the cheater would have stopped at.  The crucial asymmetry, and the
+   point of the re-expression: a crashed honest process never *claims*
+   wakeup, so the dual runs degrade gracefully where the cheaters violate
+   condition (3).  Cheating is an algorithmic property, not an environmental
+   one. *)
+
+let blind_plan ~n =
+  Lb_faults.Fault_plan.compose ~name:"cheater-blind"
+    (List.init n (fun pid -> Lb_faults.Fault_plan.crash_stop ~pid ~after:1))
+
+let fixed_ops_plan ~k ~n =
+  let after = 2 * max 1 (k / 2) in
+  Lb_faults.Fault_plan.compose ~name:(Printf.sprintf "cheater-fixed-ops-%d" k)
+    (List.init n (fun pid -> Lb_faults.Fault_plan.crash_stop ~pid ~after))
+
+let lucky_plan ~threshold ~seed ~n =
+  if threshold <= 0 then invalid_arg "Cheaters.lucky_plan: threshold must be positive";
+  Lb_faults.Fault_plan.compose ~name:(Printf.sprintf "cheater-lucky-%d" threshold)
+    (List.filter_map
+       (fun pid ->
+         if Lb_runtime.Coin.hash ~seed ~pid ~idx:0 mod threshold = 0 then
+           Some (Lb_faults.Fault_plan.crash_stop ~pid ~after:1)
+         else None)
+       (List.init n Fun.id))

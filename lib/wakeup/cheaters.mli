@@ -25,3 +25,26 @@ val lucky : threshold:int -> n:int -> (int -> int Program.t) * (int * Lb_memory.
     [1/threshold] under a uniform assignment) returns 1 after a single LL,
     otherwise runs the correct naive collect.  Caught on the toss
     assignments where some process gets lucky. *)
+
+(** {1 Fault-plan duals}
+
+    Each cheater truncates its own collect early; the dual plan keeps the
+    algorithm honest (the naive collect) and moves the truncation into the
+    environment, crash-stopping processes at the step budget the cheater
+    would have stopped at.  The asymmetry this exposes is the point: a
+    crashed honest process never {e claims} wakeup, so the dual runs degrade
+    gracefully under {!Lb_faults.Certify.run_wakeup} where the cheaters
+    produce condition-(3) violations.  Cheating is an algorithmic property,
+    not an environmental one. *)
+
+val blind_plan : n:int -> Lb_faults.Fault_plan.t
+(** Crash-stop every process after its single shared-memory operation. *)
+
+val fixed_ops_plan : k:int -> n:int -> Lb_faults.Fault_plan.t
+(** Crash-stop every process after the [2 * max 1 (k / 2)] shared operations
+    its {!fixed_ops} counterpart performs. *)
+
+val lucky_plan : threshold:int -> seed:int -> n:int -> Lb_faults.Fault_plan.t
+(** Crash-stop each "lucky" process (probability [1/threshold] under the
+    seeded hash — the same coin geometry as {!lucky}) after one operation;
+    the unlucky ones run the full collect. *)

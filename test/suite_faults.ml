@@ -1,40 +1,21 @@
-(* Fault injection: wait-freedom of the universal constructions.
+(* Fault injection: wait-freedom of the universal constructions under
+   adversity, via the lb_faults plan/engine/certification stack.
 
    A wait-free implementation guarantees that a process completes its
    operation in a bounded number of its own steps regardless of the other
-   processes — including when they crash mid-operation.  We crash processes
-   after a prefix of their steps and check the survivors finish, within
-   their analytic bounds, with mutually consistent responses. *)
+   processes — including when they crash mid-operation, recover and retry,
+   or suffer spurious SC failures (weak LL/SC).  Certification runs a
+   workload under a declarative fault plan and returns a structured verdict
+   instead of raising; these tests pin down the verdicts. *)
 
 open Lowerbound
 
-(* A scheduler that stops scheduling [pid] after it has taken [steps] steps
-   (crash-stop mid-operation), delegating to round-robin otherwise. *)
-let crash_after ~pid ~steps =
-  let taken = ref 0 in
-  fun ~step ~runnable ->
-    let alive = if !taken >= steps then List.filter (fun p -> p <> pid) runnable else runnable in
-    match Scheduler.round_robin ~step ~runnable:alive with
-    | Some p ->
-      if p = pid then incr taken;
-      Some p
-    | None -> None
+let certifiable = [ Adt_tree.construction; Herlihy.construction ]
 
-let distinct_ints l = List.length (List.sort_uniq Int.compare l) = List.length l
+let crash_plan ~crash_steps = Fault_plan.crash_stop ~pid:0 ~after:crash_steps
 
-let run_with_crash (construction : Iface.t) ~n ~crash_steps =
-  let result =
-    Harness.run ~construction ~spec:(Counters.fetch_inc ~bits:62) ~n
-      ~ops:(fun _ -> [ Value.Unit ])
-      ~scheduler:(crash_after ~pid:0 ~steps:crash_steps)
-      ~fuel:(64 * n * construction.Iface.worst_case ~n)
-      ()
-  in
-  (* p0 crashed, so the run cannot complete p0's operation... unless the
-     crash point was late enough that it already finished. *)
-  let finished_pids = List.map (fun (s : Harness.op_stat) -> s.Harness.pid) result.Harness.stats in
-  let survivors = List.filter (fun p -> p <> 0) (List.init n (fun i -> i)) in
-  (result, finished_pids, survivors)
+let process_report (r : Faults.report) pid =
+  List.find (fun (p : Faults.process_report) -> p.Faults.pid = pid) r.Faults.processes
 
 let test_survivors_complete () =
   List.iter
@@ -43,107 +24,241 @@ let test_survivors_complete () =
         (fun crash_steps ->
           List.iter
             (fun n ->
-              let result, finished, survivors = run_with_crash construction ~n ~crash_steps in
               let label =
                 Printf.sprintf "%s n=%d crash@%d" construction.Iface.name n crash_steps
               in
+              let r =
+                Faults.run ~target:construction ~plan:(crash_plan ~crash_steps) ~n ()
+              in
+              Alcotest.(check bool) (label ^ ": certified") true (Faults.certified r);
               List.iter
-                (fun p ->
+                (fun pid ->
+                  let p = process_report r pid in
+                  Alcotest.(check int) (Printf.sprintf "%s: p%d finished" label pid) 1
+                    p.Faults.completed;
                   Alcotest.(check bool)
-                    (Printf.sprintf "%s: p%d finished" label p)
-                    true (List.mem p finished))
-                survivors;
-              (* Survivors stay within the wait-free bound. *)
-              List.iter
-                (fun (s : Harness.op_stat) ->
-                  if s.Harness.pid <> 0 then
-                    Alcotest.(check bool)
-                      (Printf.sprintf "%s: p%d within bound" label s.Harness.pid)
-                      true
-                      (s.Harness.cost <= construction.Iface.worst_case ~n))
-                result.Harness.stats)
+                    (Printf.sprintf "%s: p%d within bound" label pid)
+                    true p.Faults.within_bound)
+                (List.init (n - 1) (fun i -> i + 1)))
             [ 3; 5; 8 ])
         [ 1; 2; 5; 9 ])
-    [ Adt_tree.construction; Herlihy.construction ]
+    certifiable
 
 let test_crashed_op_helped_or_lost_atomically () =
   (* The crashed process's increment either took effect (a helper applied
-     its announced descriptor) or it did not — never half: survivors'
-     responses are distinct and form a prefix-with-one-hole of 0..n-1. *)
+     its announced descriptor) or it did not — never half.  [Faults.run]
+     checks exactly this under crash plans: survivors' responses are
+     distinct and form 0..max with at most one hole per in-flight crash. *)
   List.iter
     (fun (construction : Iface.t) ->
       List.iter
         (fun crash_steps ->
-          let n = 6 in
-          let result, _, _ = run_with_crash construction ~n ~crash_steps in
-          let survivor_responses =
-            List.filter_map
-              (fun (s : Harness.op_stat) ->
-                if s.Harness.pid = 0 then None else Some (Value.to_int s.Harness.response))
-              result.Harness.stats
-          in
+          let r = Faults.run ~target:construction ~plan:(crash_plan ~crash_steps) ~n:6 () in
           let label = Printf.sprintf "%s crash@%d" construction.Iface.name crash_steps in
-          Alcotest.(check int) (label ^ ": all survivors responded") (n - 1)
-            (List.length survivor_responses);
-          Alcotest.(check bool) (label ^ ": distinct") true (distinct_ints survivor_responses);
-          let sorted = List.sort Int.compare survivor_responses in
-          let applied_without_p0 = List.init (n - 1) (fun i -> i) in
-          let applied_with_p0_somewhere =
-            (* p0's op applied at some point k: survivors see 0..n-1 minus k. *)
-            List.exists
-              (fun hole ->
-                sorted = List.filter (fun v -> v <> hole) (List.init n (fun i -> i)))
-              (List.init n (fun i -> i))
-          in
-          Alcotest.(check bool)
-            (label ^ ": consistent counter")
-            true
-            (sorted = applied_without_p0 || applied_with_p0_somewhere))
+          Alcotest.(check bool) (label ^ ": consistent counter") true r.Faults.consistent;
+          Alcotest.(check bool) (label ^ ": certified") true (Faults.certified r))
         [ 1; 2; 3; 4; 6; 10 ])
-    [ Adt_tree.construction; Herlihy.construction ]
+    certifiable
 
 let test_multiple_crashes () =
-  (* Crash all but one process immediately: the lone survivor still finishes
-     solo within its bound. *)
+  (* Crash all but one process before their first step: the lone survivor
+     still finishes solo, sees 0, and stays within its bound. *)
   List.iter
     (fun (construction : Iface.t) ->
       let n = 8 in
-      let dead = Ids.of_list [ 0; 1; 2; 3; 4; 5; 6 ] in
-      let result =
-        Harness.run ~construction ~spec:(Counters.fetch_inc ~bits:62) ~n
-          ~ops:(fun _ -> [ Value.Unit ])
-          ~scheduler:(Scheduler.crash ~dead Scheduler.round_robin)
-          ()
+      let plan =
+        Fault_plan.compose ~name:"crash-all-but-p7"
+          (List.init 7 (fun pid -> Fault_plan.crash_stop ~pid ~after:0))
       in
-      let mine =
-        List.filter (fun (s : Harness.op_stat) -> s.Harness.pid = 7) result.Harness.stats
-      in
-      match mine with
+      let r = Faults.run ~target:construction ~plan ~n () in
+      Alcotest.(check bool) (construction.Iface.name ^ ": certified") true (Faults.certified r);
+      match List.filter (fun (s : Harness.op_stat) -> s.Harness.pid = 7) r.Faults.raw.Harness.stats with
       | [ s ] ->
         Alcotest.(check int) (construction.Iface.name ^ ": survivor sees 0") 0
           (Value.to_int s.Harness.response);
         Alcotest.(check bool) (construction.Iface.name ^ ": within bound") true
           (s.Harness.cost <= construction.Iface.worst_case ~n)
       | _ -> Alcotest.failf "%s: survivor did not finish exactly once" construction.Iface.name)
-    [ Adt_tree.construction; Herlihy.construction ]
+    certifiable
+
+let test_all_targets_certified_under_crash_stop () =
+  (* The acceptance sweep: every certifiable target (including the direct
+     retry loop) survives the named crash-stop plan at several sizes. *)
+  List.iter
+    (fun n ->
+      let plan = Option.get (Fault_plan.of_name ~n "crash-stop") in
+      List.iter
+        (fun (target : Iface.t) ->
+          let r = Faults.run ~target ~plan ~n () in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s n=%d certified under crash-stop" target.Iface.name n)
+            true (Faults.certified r))
+        Fault_targets.all)
+    [ 4; 8 ]
+
+let test_crash_recovery_reinvokes () =
+  (* Crash-recovery: p0 loses its volatile state mid-operation, comes back,
+     and re-invokes the operation from scratch with the same descriptor.
+     The dedup in the constructions makes this idempotent, so the run stays
+     consistent and p0 completes within the relaxed (2x) bound. *)
+  List.iter
+    (fun (construction : Iface.t) ->
+      let n = 6 in
+      let plan = Fault_plan.crash_recover ~pid:0 ~after:2 ~restart:(6 * n) in
+      let r = Faults.run ~target:construction ~plan ~n () in
+      let label = construction.Iface.name in
+      Alcotest.(check bool) (label ^ ": certified") true (Faults.certified r);
+      Alcotest.(check bool) (label ^ ": restarted") true (r.Faults.restarts >= 1);
+      let p0 = process_report r 0 in
+      Alcotest.(check int) (label ^ ": recovered p0 completed") 1 p0.Faults.completed;
+      Alcotest.(check bool) (label ^ ": recovered within relaxed bound") true
+        p0.Faults.within_bound;
+      Alcotest.(check bool) (label ^ ": consistent") true r.Faults.consistent)
+    certifiable
+
+let test_spurious_sc_surgical () =
+  (* Solo run, direct target: the first would-be-successful SC is failed
+     spuriously; the retry loop absorbs it at the cost of one extra LL/SC
+     pair.  Deterministic — no rates involved. *)
+  let plan = Fault_plan.spurious_sc_at ~pid:0 ~at:[ 1 ] in
+  let r = Faults.run ~target:Fault_targets.direct ~plan ~n:1 () in
+  Alcotest.(check int) "exactly one injection" 1 r.Faults.spurious_injected;
+  let p0 = process_report r 0 in
+  Alcotest.(check int) "p0 completed" 1 p0.Faults.completed;
+  Alcotest.(check int) "one retry: LL SC LL SC" 4 p0.Faults.max_cost;
+  Alcotest.(check bool) "still certified" true (Faults.certified r);
+  Alcotest.(check int) "injection attributed to p0" 1 p0.Faults.spurious_sc
+
+let test_spurious_sc_exhausts_retry () =
+  (* Rate 1.0: every would-be-successful SC fails, so the bounded retry
+     loops exhaust and give up.  Certification reports the give-ups
+     (graceful degradation) instead of crashing: DEGRADED, not VIOLATED. *)
+  let n = 4 in
+  let plan = Fault_plan.spurious_sc_rate 1.0 in
+  let r = Faults.run ~target:Fault_targets.direct ~plan ~n () in
+  Alcotest.(check bool) "some operations gave up" true (r.Faults.failures <> []);
+  List.iter
+    (fun (f : Harness.op_failure) ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "failure reason mentions the give-up" true
+        (contains f.Harness.reason "gave up"))
+    r.Faults.failures;
+  Alcotest.(check bool) "degraded, not violated" true (r.Faults.status = Faults.Degraded);
+  Alcotest.(check bool) "still certified (reported gracefully)" true (Faults.certified r);
+  (* Give-ups still cost shared ops: they count toward t(R). *)
+  List.iter
+    (fun (f : Harness.op_failure) ->
+      Alcotest.(check bool) "give-up cost accounted" true (f.Harness.cost > 0))
+    r.Faults.failures
+
+let test_delay_and_stall_windows () =
+  (* Bounded adversarial windows (starved process, stalled memory region)
+     delay completion but cannot break wait-freedom: once the window
+     expires everyone finishes, certified. *)
+  List.iter
+    (fun plan_name ->
+      let n = 4 in
+      let plan = Option.get (Fault_plan.of_name ~n plan_name) in
+      List.iter
+        (fun (target : Iface.t) ->
+          let r = Faults.run ~target ~plan ~n () in
+          let label = Printf.sprintf "%s under %s" target.Iface.name plan_name in
+          Alcotest.(check bool) (label ^ ": certified") true (Faults.certified r);
+          List.iter
+            (fun (p : Faults.process_report) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s: p%d completed" label p.Faults.pid)
+                1 p.Faults.completed)
+            r.Faults.processes)
+        [ Adt_tree.construction; Fault_targets.direct ])
+    [ "delay"; "stall" ]
 
 let test_retry_loop_not_wait_free_under_lockstep () =
   (* Contrast: the direct retry loop is only lock-free.  Under a pure
      lockstep schedule with enough processes, some process exhausts a small
-     retry budget — the wait-freedom failure made visible. *)
+     retry budget — the wait-freedom failure made visible.  The harness
+     captures the raise as a structured op_failure (graceful degradation)
+     instead of letting it kill the run. *)
   let layout = Layout.create () in
   let handle = Direct.fetch_inc_retry layout ~max_attempts:3 () in
   let memory = Memory.create () in
   Layout.install layout memory;
-  let blew_up =
-    try
-      let _ =
-        Harness.run_handle ~memory ~handle ~n:8 ~ops:(fun _ -> [ Value.Unit ]) ()
-      in
-      false
-    with Failure message -> message = "Program.retry_until: 3 attempts exhausted"
+  let result = Harness.run_handle ~memory ~handle ~n:8 ~ops:(fun _ -> [ Value.Unit ]) () in
+  Alcotest.(check bool) "retry budget exhausted under contention" true
+    (List.exists
+       (fun (f : Harness.op_failure) ->
+         f.Harness.reason = "Program.retry_until: 3 attempts exhausted")
+       result.Harness.failures);
+  (* The other processes were not taken down by the failed one. *)
+  Alcotest.(check bool) "the rest completed" true
+    (List.length result.Harness.stats + List.length result.Harness.failures = 8)
+
+(* ---- wakeup certification ---- *)
+
+let test_wakeup_graceful_under_crashes () =
+  (* An honest wakeup algorithm under crashes: wakeup becomes unattainable,
+     and the honest survivors decline to claim it — DEGRADED, no false
+     claim. *)
+  let n = 6 in
+  let entry = Option.get (Corpus.find "naive-collect") in
+  let plan = Option.get (Fault_plan.of_name ~n "crash-stop") in
+  let r = Faults.run_wakeup ~algorithm:entry.Corpus.name ~make:entry.Corpus.make ~plan ~n () in
+  Alcotest.(check bool) "degraded" true (r.Faults.wstatus = Faults.Degraded);
+  Alcotest.(check bool) "no false claim" false r.Faults.false_claim;
+  Alcotest.(check (list int)) "nobody woke" [] r.Faults.woke
+
+let test_wakeup_cheater_false_claim () =
+  (* The blind cheater claims wakeup after a single LL.  Crash another
+     process before its first step: the claim is now a concrete condition-
+     (3) violation — someone returned 1 while p1 never took a step. *)
+  let n = 4 in
+  let plan = Fault_plan.crash_stop ~pid:1 ~after:0 in
+  let r =
+    Faults.run_wakeup ~algorithm:"cheater-blind"
+      ~make:(fun ~n -> Cheaters.blind ~n)
+      ~plan ~n ()
   in
-  Alcotest.(check bool) "retry budget exhausted under contention" true blew_up
+  Alcotest.(check bool) "violated" true (r.Faults.wstatus = Faults.Violated);
+  Alcotest.(check bool) "false claim detected" true r.Faults.false_claim
+
+let test_cheater_plan_duals_are_graceful () =
+  (* The dual framing: keep the algorithm honest (naive collect) and move
+     each cheater's truncation into the environment as a crash plan.  The
+     honest algorithm never produces a false claim under any of them —
+     cheating is algorithmic, not environmental. *)
+  let n = 6 in
+  let entry = Option.get (Corpus.find "naive-collect") in
+  List.iter
+    (fun plan ->
+      let r =
+        Faults.run_wakeup ~algorithm:entry.Corpus.name ~make:entry.Corpus.make ~plan ~n ()
+      in
+      let label = Fault_plan.name plan in
+      Alcotest.(check bool) (label ^ ": no false claim") false r.Faults.false_claim;
+      Alcotest.(check bool) (label ^ ": not violated") true (r.Faults.wstatus <> Faults.Violated))
+    [
+      Cheaters.blind_plan ~n;
+      Cheaters.fixed_ops_plan ~k:4 ~n;
+      Cheaters.lucky_plan ~threshold:2 ~seed:3 ~n;
+    ]
+
+let test_plan_grammar () =
+  let n = 8 in
+  let composed = Option.get (Fault_plan.of_name ~n "crash-stop+spurious-sc") in
+  Alcotest.(check bool) "composed has crash" true (Fault_plan.has_crash composed);
+  Alcotest.(check bool) "composed has spurious" true (Fault_plan.has_spurious composed);
+  Alcotest.(check bool) "unknown plan rejected" true (Fault_plan.of_name ~n "bogus" = None);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " resolves")
+        true
+        (Fault_plan.of_name ~n name <> None))
+    Fault_plan.plan_names
 
 let suite =
   [
@@ -151,6 +266,22 @@ let suite =
     Alcotest.test_case "crashed op helped or lost atomically" `Slow
       test_crashed_op_helped_or_lost_atomically;
     Alcotest.test_case "lone survivor of 7 crashes" `Quick test_multiple_crashes;
+    Alcotest.test_case "all targets certified under crash-stop" `Quick
+      test_all_targets_certified_under_crash_stop;
+    Alcotest.test_case "crash-recovery re-invokes idempotently" `Quick
+      test_crash_recovery_reinvokes;
+    Alcotest.test_case "surgical spurious SC absorbed by one retry" `Quick
+      test_spurious_sc_surgical;
+    Alcotest.test_case "spurious SC storm degrades gracefully" `Quick
+      test_spurious_sc_exhausts_retry;
+    Alcotest.test_case "delay and stall windows expire" `Quick test_delay_and_stall_windows;
     Alcotest.test_case "retry loop is not wait-free" `Quick
       test_retry_loop_not_wait_free_under_lockstep;
+    Alcotest.test_case "honest wakeup degrades gracefully under crashes" `Quick
+      test_wakeup_graceful_under_crashes;
+    Alcotest.test_case "cheater under crash is a false claim" `Quick
+      test_wakeup_cheater_false_claim;
+    Alcotest.test_case "cheater plan duals are graceful" `Quick
+      test_cheater_plan_duals_are_graceful;
+    Alcotest.test_case "plan grammar" `Quick test_plan_grammar;
   ]

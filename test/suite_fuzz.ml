@@ -208,6 +208,81 @@ let fuzz_s_run_full_replay =
       in
       s_run.S_run.results = run.All_run.results)
 
+(* ---- fault-engine properties ----
+
+   The fault layer must be invisible at rate 0 and must implement the weak
+   LL/SC semantics exactly at any rate: a spuriously failed SC changes
+   nothing and keeps the Pset intact. *)
+
+let run_system (n, atom_lists) ~memory =
+  let programs = Array.of_list (List.map program_of_atoms atom_lists) in
+  List.iter (fun (r, v) -> Memory.set_init memory r v) inits;
+  let sys = System.create ~memory ~assignment:(Coin.uniform ~seed:23) ~n (fun pid -> programs.(pid)) in
+  let outcome = System.run sys Scheduler.round_robin ~fuel:10_000 in
+  (outcome, System.results sys)
+
+let fuzz_rate_zero_is_identity =
+  prop "fuzz: rate-0 fault engine is bit-identical" (fun system ->
+      let m_plain = Memory.create () in
+      let plain = run_system system ~memory:m_plain in
+      let m_armed = Memory.create () in
+      let engine = Fault_engine.instantiate ~seed:9 (Fault_plan.spurious_sc_rate 0.0) in
+      Fault_engine.arm engine m_armed;
+      let armed = run_system system ~memory:m_armed in
+      plain = armed
+      && Memory.snapshot m_plain = Memory.snapshot m_armed
+      && Fault_engine.spurious_injected engine = 0)
+
+let invocations_of_atoms atoms =
+  List.filter_map
+    (function
+      | A_ll r -> Some (Op.Ll r)
+      | A_sc (r, v) -> Some (Op.Sc (r, Value.Int v))
+      | A_validate r -> Some (Op.Validate r)
+      | A_swap (r, v) -> Some (Op.Swap (r, Value.Int v))
+      | A_move (s, d) -> if s = d then None else Some (Op.Move (s, d))
+      | A_toss | A_branch _ -> None)
+    atoms
+
+let fuzz_spurious_preserves_psets =
+  prop "fuzz: spurious SC failures preserve Psets" (fun (n, atom_lists) ->
+      let memory = Memory.create () in
+      List.iter (fun (r, v) -> Memory.set_init memory r v) inits;
+      let engine = Fault_engine.instantiate ~seed:5 (Fault_plan.spurious_sc_rate 1.0) in
+      Fault_engine.arm engine memory;
+      let streams = List.mapi (fun pid atoms -> (pid, invocations_of_atoms atoms)) atom_lists in
+      let observed = ref 0 in
+      let ok = ref true in
+      (* Round-robin over the per-process invocation streams. *)
+      let rec drive streams =
+        match streams with
+        | [] -> ()
+        | (pid, inv :: rest) :: others ->
+          let before =
+            match inv with
+            | Op.Sc (r, _) -> Some (r, Memory.peek memory r, Memory.pset memory r)
+            | _ -> None
+          in
+          let response = Memory.apply memory ~pid inv in
+          (match before, response with
+          | Some (r, value, pset), Op.Flagged (flag, answered) when Ids.mem pid pset ->
+            (* Would-be-successful SC: at rate 1.0 it must have failed
+               spuriously — returning the old value, writing nothing,
+               keeping the Pset. *)
+            incr observed;
+            ok :=
+              !ok && (not flag)
+              && Value.equal answered value
+              && Value.equal (Memory.peek memory r) value
+              && Ids.equal (Memory.pset memory r) pset
+          | _ -> ());
+          drive (others @ [ (pid, rest) ])
+        | (_, []) :: others -> drive others
+      in
+      drive streams;
+      ignore n;
+      !ok && Fault_engine.spurious_injected engine = !observed)
+
 let suite =
   [
     fuzz_lemma_5_1;
@@ -216,4 +291,6 @@ let suite =
     fuzz_round_invariants;
     fuzz_deterministic_replay;
     fuzz_s_run_full_replay;
+    fuzz_rate_zero_is_identity;
+    fuzz_spurious_preserves_psets;
   ]

@@ -145,6 +145,17 @@ let test_negative_register () =
   Alcotest.check_raises "negative index" (Invalid_argument "Memory: negative register index -1")
     (fun () -> ignore (Memory.apply m ~pid:0 (Op.Ll (-1))))
 
+let test_self_move () =
+  (* Self-moves are excluded from the model (they would break Lemma 4.1);
+     the dedicated exception carries the culprit and the register. *)
+  let m = Memory.create () in
+  Memory.set_init m 3 (Value.Int 9);
+  Alcotest.check_raises "self-move rejected" (Memory.Self_move { pid = 4; reg = 3 }) (fun () ->
+      ignore (Memory.apply m ~pid:4 (Op.Move (3, 3))));
+  (* The rejected operation neither counts nor changes anything. *)
+  Alcotest.(check int) "not counted" 0 (Memory.ops_of m ~pid:4);
+  Alcotest.check value "unchanged" (Value.Int 9) (Memory.peek m 3)
+
 let test_largest_value_size () =
   let m = Memory.create () in
   ignore (Memory.apply m ~pid:0 (Op.Swap (0, Value.List [ Value.Int 1; Value.Int 2 ])));
@@ -306,6 +317,7 @@ let suite =
     Alcotest.test_case "log disabled" `Quick test_log_disabled;
     Alcotest.test_case "snapshot/touched" `Quick test_snapshot_touched;
     Alcotest.test_case "negative register rejected" `Quick test_negative_register;
+    Alcotest.test_case "self-move rejected" `Quick test_self_move;
     Alcotest.test_case "largest value size" `Quick test_largest_value_size;
     Alcotest.test_case "layout allocator" `Quick test_layout;
     Alcotest.test_case "register module" `Quick test_register;

@@ -244,6 +244,23 @@ let test_system_out_of_fuel () =
   let outcome = System.run sys Scheduler.round_robin ~fuel:10 in
   Alcotest.(check bool) "out of fuel" true (outcome = System.Out_of_fuel)
 
+let test_run_diagnosed () =
+  (* run_diagnosed reports who was scheduled last, per-process op counts
+     (the paper's t(p, R)) and who never finished. *)
+  let memory = Memory.create ~default:(Value.Int 0) () in
+  let sys = System.create ~memory ~n:3 incrementer in
+  let d = System.run_diagnosed sys (Scheduler.fixed [ 0; 0; 1; 1 ]) ~fuel:100 in
+  Alcotest.(check bool) "stalled" true (d.System.outcome = System.Stalled);
+  Alcotest.(check int) "four steps" 4 d.System.steps;
+  Alcotest.(check (option int)) "last scheduled" (Some 1) d.System.last_scheduled;
+  Alcotest.(check (list (pair int int))) "t(p, R)" [ (0, 2); (1, 2); (2, 0) ]
+    d.System.ops_per_process;
+  Alcotest.(check (list int)) "p2 unfinished" [ 2 ] d.System.unfinished;
+  (* run is run_diagnosed's outcome. *)
+  let sys2 = System.create ~memory:(Memory.create ~default:(Value.Int 0) ()) ~n:3 incrementer in
+  Alcotest.(check bool) "run agrees" true
+    (System.run sys2 (Scheduler.fixed [ 0; 0; 1; 1 ]) ~fuel:100 = System.Stalled)
+
 let test_crash_scheduler () =
   let memory = Memory.create ~default:(Value.Int 0) () in
   let sys = System.create ~memory ~n:4 incrementer in
@@ -296,6 +313,7 @@ let suite =
     Alcotest.test_case "system sequential schedule" `Quick test_system_sequential_schedule;
     Alcotest.test_case "system stalls" `Quick test_system_stalls;
     Alcotest.test_case "system out of fuel" `Quick test_system_out_of_fuel;
+    Alcotest.test_case "run diagnostics" `Quick test_run_diagnosed;
     Alcotest.test_case "crash scheduler" `Quick test_crash_scheduler;
     Alcotest.test_case "random scheduler deterministic" `Quick test_random_scheduler_deterministic;
     Alcotest.test_case "result_exn" `Quick test_result_exn;
