@@ -18,19 +18,48 @@
 
 open Lowerbound
 
-let run_tables tables =
-  let failures =
-    List.fold_left
-      (fun failures table ->
+(* Each run appends a snapshot to BENCH_experiments.json / BENCH_simulator.json
+   (schema in docs/OBSERVABILITY.md) alongside the human-readable tables. *)
+
+let run_tables ?(quick = false) thunks =
+  let timed =
+    List.map
+      (fun (_, thunk) ->
+        let t0 = Unix.gettimeofday () in
+        let table = thunk () in
+        let elapsed = Unix.gettimeofday () -. t0 in
         Format.printf "%a@.@." Lb_experiments.Table.pp table;
-        if table.Lb_experiments.Table.pass then failures
-        else table.Lb_experiments.Table.id :: failures)
-      [] tables
+        (table, elapsed))
+      thunks
+  in
+  let tables = List.map fst timed in
+  let data =
+    Json.Obj
+      [
+        ( "tables",
+          Json.Arr
+            (List.map
+               (fun (t, elapsed) ->
+                 match Lb_experiments.Table.to_json t with
+                 | Json.Obj fields -> Json.Obj (fields @ [ ("elapsed_s", Json.Float elapsed) ])
+                 | other -> other)
+               timed) );
+        ("all_pass", Json.Bool (List.for_all (fun t -> t.Lb_experiments.Table.pass) tables));
+      ]
+  in
+  let path =
+    Bench_out.append ~suite:"experiments" ~meta:[ ("quick", Json.Bool quick) ] data
+  in
+  Format.printf "(wrote %s)@." path;
+  let failures =
+    List.filter_map
+      (fun t -> if t.Lb_experiments.Table.pass then None else Some t.Lb_experiments.Table.id)
+      tables
   in
   match failures with
   | [] -> Format.printf "All %d experiments PASS@." (List.length tables)
   | ids ->
-    Format.printf "FAILED experiments: %s@." (String.concat ", " (List.rev ids));
+    Format.printf "FAILED experiments: %s@." (String.concat ", " ids);
     exit 1
 
 (* ---- Bechamel timing ---- *)
@@ -117,9 +146,21 @@ let timing () =
       | Some (est :: _) -> rows := (name, est) :: !rows
       | Some [] | None -> ())
     results;
-  List.iter
-    (fun (name, est) -> Format.printf "%-45s %12.0f ns@." name est)
-    (List.sort compare !rows)
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, est) -> Format.printf "%-45s %12.0f ns@." name est) rows;
+  let data =
+    Json.Obj
+      [
+        ( "benchmarks",
+          Json.Arr
+            (List.map
+               (fun (name, est) ->
+                 Json.Obj [ ("name", Json.Str name); ("ns_per_run", Json.Float est) ])
+               rows) );
+      ]
+  in
+  let path = Bench_out.append ~suite:"simulator" data in
+  Format.printf "(wrote %s)@." path
 
 (* ---- shape chart: the paper's complexity landscape at a glance ---- *)
 
@@ -185,18 +226,18 @@ let charts () =
 
 let () =
   match Array.to_list Sys.argv with
-  | _ :: "exp" :: [] -> run_tables (Lb_experiments.Experiments.all ~quick:false)
+  | _ :: "exp" :: [] -> run_tables (Lb_experiments.Experiments.thunks ~quick:false)
   | _ :: "exp" :: id :: _ -> (
     match Lb_experiments.Experiments.by_id id with
-    | Some f -> run_tables [ f () ]
+    | Some f -> run_tables [ (String.lowercase_ascii id, f) ]
     | None ->
       Format.printf "unknown experiment %s (have: %s)@." id
         (String.concat ", " Lb_experiments.Experiments.ids);
       exit 2)
-  | _ :: "quick" :: _ -> run_tables (Lb_experiments.Experiments.all ~quick:true)
+  | _ :: "quick" :: _ -> run_tables ~quick:true (Lb_experiments.Experiments.thunks ~quick:true)
   | _ :: "time" :: _ -> timing ()
   | _ :: "chart" :: _ -> charts ()
   | _ ->
-    run_tables (Lb_experiments.Experiments.all ~quick:false);
+    run_tables (Lb_experiments.Experiments.thunks ~quick:false);
     charts ();
     timing ()

@@ -117,22 +117,117 @@ let trace_cmd =
   let rounds_arg =
     Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"R" ~doc:"Max rounds to print.")
   in
-  let run () name n seed max_print =
+  let args_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ARG"
+          ~doc:"A corpus algorithm name — or, with $(b,--diff), two trace files (JSONL).")
+  in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:"Record the run's structured event trace to $(docv) as JSONL (one event per line).")
+  in
+  let events_flag =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:"Print the structured event stream instead of the round-by-round view.")
+  in
+  let kinds_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kinds" ] ~docv:"KINDS"
+          ~doc:"Comma-separated event kinds to keep (with --events or --diff): access, toss, \
+                sched, round, crash, recovery, invoke, complete, give-up, end.")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:"Diff two recorded traces positionally; exit 1 when they differ, 0 when \
+                identical.")
+  in
+  let check_kinds = function
+    | None -> ()
+    | Some ks ->
+      List.iter
+        (fun k ->
+          if not (List.mem k Event.kinds) then
+            failwith
+              (Printf.sprintf "unknown event kind %S (one of: %s)" k
+                 (String.concat ", " Event.kinds)))
+        ks
+  in
+  let keep kinds (e : Event.stamped) =
+    match kinds with None -> true | Some ks -> List.mem (Event.kind e.Event.event) ks
+  in
+  let run_diff kinds = function
+    | [ left_path; right_path ] ->
+      let load path =
+        match Trace_file.load path with Ok events -> events | Error msg -> failwith msg
+      in
+      let entries = Trace_diff.compute ?kinds (load left_path) (load right_path) in
+      if entries = [] then begin
+        Format.printf "traces are identical (0 differences)@.";
+        0
+      end
+      else begin
+        Format.printf "%a@." Trace_diff.pp entries;
+        Format.printf "(%d difference(s))@." (List.length entries);
+        1
+      end
+    | args ->
+      failwith (Printf.sprintf "--diff takes exactly two trace files, got %d" (List.length args))
+  in
+  let run_record name n seed max_print record events kinds =
     let entry = find_entry name in
     let program_of, inits = entry.Corpus.make ~n in
     let assignment = if entry.Corpus.randomized then Coin.uniform ~seed else Coin.constant 0 in
-    let run = All_run.execute ~n ~program_of ~assignment ~inits ~max_rounds:40_000 () in
-    List.iteri
-      (fun i round -> if i < max_print then Format.printf "%a@." Round.pp round)
-      run.All_run.rounds;
+    let tracer = Tracer.ring () in
+    let run =
+      Tracer.with_tracer tracer (fun () ->
+          All_run.execute ~n ~program_of ~assignment ~inits ~max_rounds:40_000 ())
+    in
+    let recorded = List.filter (keep kinds) (Tracer.events tracer) in
+    (match record with
+    | Some path ->
+      Trace_file.save path recorded;
+      Format.printf "(recorded %d events to %s" (List.length recorded) path;
+      if Tracer.dropped tracer > 0 then
+        Format.printf "; ring dropped the oldest %d" (Tracer.dropped tracer);
+      Format.printf ")@."
+    | None -> ());
+    if events then List.iter (fun e -> Format.printf "%a@." Event.pp_stamped e) recorded
+    else
+      List.iteri
+        (fun i round -> if i < max_print then Format.printf "%a@." Round.pp round)
+        run.All_run.rounds;
     Format.printf "(%d rounds total; results: %s)@." (All_run.num_rounds run)
       (String.concat ", "
          (List.map (fun (p, v) -> Printf.sprintf "p%d=%d" p v) run.All_run.results));
     0
   in
+  let run () args n seed max_print record events kinds diff =
+    check_kinds kinds;
+    if diff then run_diff kinds args
+    else
+      match args with
+      | [ name ] -> run_record name n seed max_print record events kinds
+      | _ -> failwith "trace takes exactly one algorithm name (or two files with --diff)"
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print the round-by-round (All, A)-run of a corpus algorithm.")
-    Term.(const run $ logging $ name_arg $ n_arg $ seed_arg $ rounds_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Print the round-by-round (All, A)-run of a corpus algorithm; record its structured \
+          event trace ($(b,--record)), pretty-print and filter the events ($(b,--events), \
+          $(b,--kinds)), or diff two recorded traces ($(b,--diff)).")
+    Term.(
+      const run $ logging $ args_arg $ n_arg $ seed_arg $ rounds_arg $ record_arg $ events_flag
+      $ kinds_arg $ diff_flag)
 
 (* ---- sweep ---- *)
 

@@ -14,6 +14,7 @@ type 'a t = {
 let start ~n ~program_of ~assignment ~inits =
   if n <= 0 then invalid_arg "Engine.start: n must be positive";
   let memory = Memory.create () in
+  Lb_observe.Tracer.attach_memory memory;
   List.iter (fun (r, v) -> Memory.set_init memory r v) inits;
   {
     n;
@@ -37,6 +38,8 @@ let all_terminated t = Array.for_all Process.is_terminated t.procs
 let exec_round t ~select ~move_order =
   t.round_index <- t.round_index + 1;
   let index = t.round_index in
+  if Lb_observe.Tracer.active () then
+    Lb_observe.Tracer.record (Lb_observe.Event.Round { index });
   (* Phase 1: local coin tosses for selected, non-terminated processes. *)
   let participants = ref [] in
   Array.iter

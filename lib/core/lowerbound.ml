@@ -19,6 +19,9 @@
       {!Atomic}, {!History}: object types and linearizability;
     - {!Iface}, {!Adt_tree}, {!Herlihy}, {!Direct}, {!Harness},
       {!Complexity}: universal constructions and their measurement;
+    - {!Json}, {!Event}, {!Tracer}, {!Trace_file}, {!Trace_diff}, {!Metrics},
+      {!Bench_out}: the observability layer — structured trace events, the
+      metrics registry and machine-readable benchmark artifacts;
     - {!Fault_plan}, {!Fault_engine}, {!Retry}, {!Fault_targets}, {!Faults}:
       fault injection (crashes, recovery, weak LL/SC, delays) and the
       wait-freedom-under-adversity certification driver;
@@ -81,6 +84,15 @@ module Explore = Lb_check.Explore
 
 (* Extensions (Section 7) *)
 module Rmw = Lb_extensions.Rmw
+
+(* Observability *)
+module Json = Lb_observe.Json
+module Event = Lb_observe.Event
+module Tracer = Lb_observe.Tracer
+module Trace_file = Lb_observe.Trace_file
+module Trace_diff = Lb_observe.Trace_diff
+module Metrics = Lb_observe.Metrics
+module Bench_out = Lb_observe.Bench_out
 
 (* Fault injection and certification *)
 module Fault_plan = Lb_faults.Fault_plan

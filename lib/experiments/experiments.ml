@@ -666,27 +666,23 @@ let e14 ?(ns = [ 2; 4; 8; 16; 32; 64; 128 ]) () =
 
 (* ---- registry ---- *)
 
-let all ~quick =
-  if quick then
-    [
-      e1 ~ns:[ 16; 64 ] ();
-      e2 ~specs:15 ();
-      e3 ~ns:[ 4; 16 ] ();
-      e4 ~ns:[ 2; 4 ] ~seeds:[ 1 ] ();
-      e5 ~ns:[ 4; 16; 64 ] ();
-      e6 ~ns:[ 4; 8 ] ();
-      e7 ~ns:[ 2; 4; 8; 16; 32 ] ();
-      e8 ~n:16 ~seeds:[ 1; 2; 3; 4; 5 ] ();
-      e9 ~ns:[ 2; 16; 64 ] ();
-      e10 ~ns:[ 4; 16; 64 ] ();
-      e11 ~ns:[ 2; 8; 32 ] ();
-      e12 ~ns:[ 2; 16; 256 ] ();
-      e13 ~ns:[ 2; 8; 32 ] ();
-      e14 ~ns:[ 2; 8; 32 ] ();
-    ]
-  else
-    [ e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 (); e11 (); e12 ();
-      e13 (); e14 () ]
+let quick_registry : (string * (unit -> Table.t)) list =
+  [
+    ("e1", fun () -> e1 ~ns:[ 16; 64 ] ());
+    ("e2", fun () -> e2 ~specs:15 ());
+    ("e3", fun () -> e3 ~ns:[ 4; 16 ] ());
+    ("e4", fun () -> e4 ~ns:[ 2; 4 ] ~seeds:[ 1 ] ());
+    ("e5", fun () -> e5 ~ns:[ 4; 16; 64 ] ());
+    ("e6", fun () -> e6 ~ns:[ 4; 8 ] ());
+    ("e7", fun () -> e7 ~ns:[ 2; 4; 8; 16; 32 ] ());
+    ("e8", fun () -> e8 ~n:16 ~seeds:[ 1; 2; 3; 4; 5 ] ());
+    ("e9", fun () -> e9 ~ns:[ 2; 16; 64 ] ());
+    ("e10", fun () -> e10 ~ns:[ 4; 16; 64 ] ());
+    ("e11", fun () -> e11 ~ns:[ 2; 8; 32 ] ());
+    ("e12", fun () -> e12 ~ns:[ 2; 16; 256 ] ());
+    ("e13", fun () -> e13 ~ns:[ 2; 8; 32 ] ());
+    ("e14", fun () -> e14 ~ns:[ 2; 8; 32 ] ());
+  ]
 
 let registry : (string * (unit -> Table.t)) list =
   [
@@ -705,6 +701,9 @@ let registry : (string * (unit -> Table.t)) list =
     ("e13", fun () -> e13 ());
     ("e14", fun () -> e14 ());
   ]
+
+let thunks ~quick = if quick then quick_registry else registry
+let all ~quick = List.map (fun (_, f) -> f ()) (thunks ~quick)
 
 let by_id id = List.assoc_opt (String.lowercase_ascii id) registry
 let ids = List.map fst registry

@@ -54,6 +54,11 @@ val e14 : ?ns:int list -> unit -> Table.t
 val all : quick:bool -> Table.t list
 (** Every experiment; [quick] shrinks the sweeps (used by the test suite). *)
 
+val thunks : quick:bool -> (string * (unit -> Table.t)) list
+(** The same suite as [(id, thunk)] pairs, so drivers can run — and time —
+    each experiment individually (the benchmark harness uses this to emit
+    per-experiment wall-clock into BENCH_experiments.json). *)
+
 val by_id : string -> (unit -> Table.t) option
 (** Lookup by id ("e1" .. "e14", case-insensitive), full-size parameters. *)
 

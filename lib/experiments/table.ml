@@ -11,6 +11,18 @@ let cell_int = string_of_int
 let cell_float f = Printf.sprintf "%.2f" f
 let cell_bool = string_of_bool
 
+let to_json t =
+  let strings l = Lowerbound.Json.Arr (List.map (fun s -> Lowerbound.Json.Str s) l) in
+  Lowerbound.Json.Obj
+    [
+      ("id", Str t.id);
+      ("title", Str t.title);
+      ("pass", Bool t.pass);
+      ("header", strings t.header);
+      ("rows", Arr (List.map strings t.rows));
+      ("notes", strings t.notes);
+    ]
+
 let pp ppf t =
   let all_rows = t.header :: t.rows in
   let columns = List.length t.header in

@@ -12,6 +12,10 @@ type t = {
 val pp : Format.formatter -> t -> unit
 (** Aligned columns, a PASS/FAIL banner, and the notes. *)
 
+val to_json : t -> Lowerbound.Json.t
+(** The table as the ["tables"] element of the BENCH_experiments.json
+    schema (docs/OBSERVABILITY.md): id, title, pass, header, rows, notes. *)
+
 val cell_int : int -> string
 val cell_float : float -> string
 val cell_bool : bool -> string

@@ -39,6 +39,25 @@ type report = {
 
 let certified r = r.status <> Violated
 
+let failure_events r =
+  List.map
+    (fun (f : Harness.op_failure) ->
+      Lb_observe.Event.Op_failed
+        { pid = f.Harness.pid; seq = f.Harness.seq; op = f.Harness.op; reason = f.Harness.reason; cost = f.Harness.cost })
+    r.failures
+
+let publish_metrics r =
+  let reg = Lb_observe.Metrics.current () in
+  Lb_observe.Metrics.incr reg "certify.runs";
+  Lb_observe.Metrics.incr reg
+    (match r.status with
+    | Certified -> "certify.certified"
+    | Degraded -> "certify.degraded"
+    | Violated -> "certify.violated");
+  Lb_observe.Metrics.incr ~by:r.spurious_injected reg "certify.spurious_injected";
+  Lb_observe.Metrics.incr ~by:r.restarts reg "certify.restarts";
+  Lb_observe.Metrics.observe_int reg "certify.total_shared_ops" r.total_shared_ops
+
 (* Fetch&increment responses of the completed operations must be distinct
    and form 0 .. max with at most [holes] missing values — one hole per
    operation that may have taken effect without responding (a crashed
@@ -156,23 +175,27 @@ let run ~target ~plan ~n ?(seed = 1) ?(ops_per_process = 1) () =
     then Degraded
     else Certified
   in
-  {
-    target = target.Iface.name;
-    plan;
-    n;
-    seed;
-    status;
-    reasons = List.rev !reasons;
-    notes = List.rev !notes;
-    processes;
-    spurious_injected = Fault_engine.spurious_injected engine;
-    restarts = result.Harness.restarts;
-    failures = result.Harness.failures;
-    consistent;
-    consistency;
-    total_shared_ops = result.Harness.total_shared_ops;
-    raw = result;
-  }
+  let report =
+    {
+      target = target.Iface.name;
+      plan;
+      n;
+      seed;
+      status;
+      reasons = List.rev !reasons;
+      notes = List.rev !notes;
+      processes;
+      spurious_injected = Fault_engine.spurious_injected engine;
+      restarts = result.Harness.restarts;
+      failures = result.Harness.failures;
+      consistent;
+      consistency;
+      total_shared_ops = result.Harness.total_shared_ops;
+      raw = result;
+    }
+  in
+  publish_metrics report;
+  report
 
 let grid ~targets ~plans ~ns ?(seed = 1) ?(ops_per_process = 1) () =
   List.concat_map
@@ -285,6 +308,9 @@ let pp_report ppf r =
   Format.fprintf ppf "pid  | role      |  done  | failed | worst | bound | t(p,R) | spurious@ ";
   Format.fprintf ppf "%s@ " (String.make 74 '-');
   List.iter (fun p -> Format.fprintf ppf "%a@ " pp_process p) r.processes;
+  (* Failures are rendered through the trace-event vocabulary, so a verdict
+     table and a recorded trace show the same give-up lines. *)
+  List.iter (fun e -> Format.fprintf ppf "%a@ " Lb_observe.Event.pp e) (failure_events r);
   List.iter (fun s -> Format.fprintf ppf "violation: %s@ " s) r.reasons;
   List.iter (fun s -> Format.fprintf ppf "note: %s@ " s) r.notes;
   Format.fprintf ppf "@]"
@@ -292,7 +318,9 @@ let pp_report ppf r =
 let pp_wakeup_report ppf r =
   Format.fprintf ppf "@[<v>%s under %s (n = %d, seed = %d): %a@ " r.algorithm
     (Fault_plan.name r.wplan) r.wn r.wseed pp_status r.wstatus;
-  Format.fprintf ppf "run: %a@ " System.pp_diagnostics r.diagnostics;
+  (* The run line is the diagnostics rendered as its Run_end trace event, so
+     a wakeup verdict and a recorded trace end on the same summary. *)
+  Format.fprintf ppf "run: %a@ " Lb_observe.Event.pp (System.diagnostics_event r.diagnostics);
   Format.fprintf ppf "woke: {%s}; crashed: {%s}@ "
     (String.concat ", " (List.map (Printf.sprintf "p%d") r.woke))
     (String.concat ", " (List.map (Printf.sprintf "p%d") r.crashed_pids));

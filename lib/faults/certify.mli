@@ -52,6 +52,11 @@ type report = {
 val certified : report -> bool
 (** [status <> Violated] — degraded-but-reported passes certification. *)
 
+val failure_events : report -> Lb_observe.Event.t list
+(** The report's give-ups as {!Lb_observe.Event.Op_failed} trace events —
+    the same payload a live tracer records, so verdict tables and traces
+    agree on what failed.  {!pp_report} prints these. *)
+
 val run :
   target:Iface.t ->
   plan:Fault_plan.t ->

@@ -106,7 +106,11 @@ let crashed_now t ~step pid =
     if c.recovered then false
     else if taken t pid < c.after then false
     else begin
-      if c.crashed_at = None then c.crashed_at <- Some step;
+      if c.crashed_at = None then begin
+        c.crashed_at <- Some step;
+        if Lb_observe.Tracer.active () then
+          Lb_observe.Tracer.record (Lb_observe.Event.Crash { pid; step })
+      end;
       match c.restart, c.crashed_at with
       | None, _ -> true
       | Some r, Some s -> step < s + r
@@ -140,6 +144,8 @@ let recoveries t ~step =
       match c.restart, c.crashed_at with
       | Some r, Some s when (not c.recovered) && step >= s + r ->
         c.recovered <- true;
+        if Lb_observe.Tracer.active () then
+          Lb_observe.Tracer.record (Lb_observe.Event.Recovery { pid; step });
         pid :: acc
       | _ -> acc)
     t.crash []

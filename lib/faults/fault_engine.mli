@@ -44,10 +44,19 @@ val spurious_injected : t -> int
     strong-semantics reason). *)
 
 val spurious_of : t -> pid:int -> int
+(** Spurious SC failures injected against [pid]. *)
+
 val steps_of : t -> pid:int -> int
+(** Shared-memory steps [pid] has executed, as counted by the engine. *)
+
 val crashed : t -> Ids.t
 (** Pids currently crashed (crash observed, not recovered). *)
 
 val recovered : t -> int list
+(** Pids that crashed and have since recovered, in recovery order. *)
+
 val plan : t -> Fault_plan.t
+(** The plan this engine was instantiated from. *)
+
 val seed : t -> int
+(** The seed all injection decisions derive from. *)

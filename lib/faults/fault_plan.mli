@@ -35,10 +35,15 @@ type injector =
   | Stall_region of { regs : int list; from_step : int; duration : int }
 
 type t
+(** A named, immutable list of injectors. *)
 
 val none : t
+(** The empty plan: a run under [none] is a fault-free run. *)
+
 val name : t -> string
 val injectors : t -> injector list
+
+(** {1 Constructors} — one single-injector plan per injector kind. *)
 
 val crash_stop : pid:int -> after:int -> t
 val crash_recover : pid:int -> after:int -> restart:int -> t
@@ -55,7 +60,10 @@ val horizon : t -> int
     process starved: the last window expiry / recovery deadline. *)
 
 val has_crash : t -> bool
+(** Does the plan contain any crash-stop or crash-recover injector? *)
+
 val has_spurious : t -> bool
+(** Does the plan contain any spurious-SC injector? *)
 
 val crash_stopped : t -> int list
 (** Pids the plan crash-stops (sorted, deduplicated). *)
@@ -73,5 +81,12 @@ val pp : Format.formatter -> t -> unit
     run's process count. *)
 
 val named : n:int -> (string * t) list
+(** The built-in plans ([crash-stop], [crash-recover], [spurious-sc],
+    [delay], [stall], [chaos], …) instantiated for [n] processes. *)
+
 val of_name : n:int -> string -> t option
+(** Parse a [--plan] argument: a {!plan_names} entry or several joined
+    with ["+"]; [None] if any component is unknown. *)
+
 val plan_names : string list
+(** The names {!of_name} accepts as components. *)

@@ -15,6 +15,8 @@ type directive = Proceed | Fail_sc
 
 type interposer = pid:int -> Op.invocation -> directive
 
+type tap = pid:int -> Op.invocation -> Op.response -> spurious:bool -> unit
+
 type t = {
   regs : (int, Register.t) Hashtbl.t;
   default : Value.t;
@@ -23,6 +25,7 @@ type t = {
   log_enabled : bool;
   mutable log : event list; (* newest first *)
   mutable interposer : interposer option;
+  mutable tap : tap option;
 }
 
 let create ?(default = Value.Unit) ?(log = false) () =
@@ -34,9 +37,11 @@ let create ?(default = Value.Unit) ?(log = false) () =
     log_enabled = log;
     log = [];
     interposer = None;
+    tap = None;
   }
 
 let set_interposer m i = m.interposer <- i
+let set_tap m tap = m.tap <- tap
 
 let register m r =
   if r < 0 then invalid_arg (Printf.sprintf "Memory: negative register index %d" r);
@@ -95,6 +100,13 @@ let apply m ~pid invocation =
   in
   count m pid;
   if m.log_enabled then m.log <- { pid; invocation; response } :: m.log;
+  (match m.tap with
+  | None -> ()
+  | Some tap ->
+    let spurious =
+      match (invocation, directive) with Op.Sc _, Fail_sc -> true | _ -> false
+    in
+    tap ~pid invocation response ~spurious);
   response
 
 let peek m r =

@@ -46,6 +46,20 @@ val set_interposer : t -> interposer option -> unit
 (** Install (or with [None] remove) the interposer.  At most one is active;
     composition happens at the fault-plan layer. *)
 
+(** {1 Observer tap}
+
+    The read-only sibling of the interposer: a callback consulted {e after}
+    every {!apply}, with the operation's response and whether a fault
+    interposer made an SC fail spuriously.  The observability layer
+    ({!Lb_observe.Tracer.attach_memory}) builds its shared-access event
+    stream from this hook; like the interposer there is at most one tap and
+    it must not mutate the memory. *)
+
+type tap = pid:int -> Op.invocation -> Op.response -> spurious:bool -> unit
+
+val set_tap : t -> tap option -> unit
+(** Install (or with [None] remove) the tap. *)
+
 val create : ?default:Value.t -> ?log:bool -> unit -> t
 (** Fresh memory.  Registers that have never been written read as [default]
     (default [Value.Unit]).  When [log] is true (default false) every applied

@@ -1,0 +1,37 @@
+let path ?(dir = ".") ~suite () = Filename.concat dir ("BENCH_" ^ suite ^ ".json")
+
+let read ?dir ~suite () =
+  let file = path ?dir ~suite () in
+  if not (Sys.file_exists file) then Ok []
+  else
+    let ic = open_in file in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse contents with
+    | Ok (Json.Arr snapshots) -> Ok snapshots
+    | Ok _ -> Error (Printf.sprintf "%s: expected a JSON array of snapshots" file)
+    | Error e -> Error e
+
+let append ?dir ~suite ?(meta = []) data =
+  let file = path ?dir ~suite () in
+  (* A corrupt trajectory starts over instead of failing the bench run. *)
+  let existing = match read ?dir ~suite () with Ok l -> l | Error _ -> [] in
+  let snapshot =
+    Json.Obj
+      (("timestamp", Json.Float (Unix.gettimeofday ()))
+      :: ("suite", Json.Str suite)
+      :: meta
+      @ [ ("data", data) ])
+  in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (Json.Arr (existing @ [ snapshot ])));
+      output_char oc '\n');
+  Sys.rename tmp file;
+  file

@@ -1,0 +1,33 @@
+(** Machine-readable benchmark artifacts: the [BENCH_*.json] trajectory.
+
+    Each bench run {e appends} one timestamped snapshot to
+    [BENCH_<suite>.json], so the file accumulates the performance
+    trajectory across runs/commits — the diffable evidence every future
+    perf PR measures itself against.  The file is a JSON array of snapshot
+    objects:
+
+    {v
+    [ { "timestamp": 1754450000.0,   // unix epoch, seconds
+        "suite": "experiments",
+        ...meta fields...,
+        "data": <payload> },
+      ... ]
+    v}
+
+    Writes are atomic (temp file + rename).  A missing or unparseable file
+    starts a fresh trajectory rather than failing the bench run — the
+    artifact must never be the reason a benchmark doesn't run.  The
+    per-suite payload schemas are documented in docs/OBSERVABILITY.md. *)
+
+val path : ?dir:string -> suite:string -> unit -> string
+(** [dir] defaults to the current directory; the file is
+    [dir/BENCH_<suite>.json]. *)
+
+val append : ?dir:string -> suite:string -> ?meta:(string * Json.t) list -> Json.t -> string
+(** Append one snapshot with the current wall-clock timestamp and return
+    the path written.  [meta] fields are spliced into the snapshot object
+    between ["suite"] and ["data"]. *)
+
+val read : ?dir:string -> suite:string -> unit -> (Json.t list, string) result
+(** The snapshots recorded so far, oldest first; [Ok []] when the file does
+    not exist. *)

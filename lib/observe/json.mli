@@ -1,0 +1,56 @@
+(** A minimal JSON tree, writer and parser.
+
+    The observability layer needs machine-readable artifacts (JSONL traces,
+    [BENCH_*.json] snapshots, metrics dumps) without adding a dependency the
+    container does not bake in, so this is a small self-contained codec: the
+    seven JSON shapes, a compact writer (one line per value — the JSONL
+    invariant), an indented writer for artifact files, and a strict
+    recursive-descent parser that round-trips everything the writer emits.
+
+    Numbers: integers that fit an OCaml [int] parse as {!Int}; everything
+    else parses as {!Float}.  Strings are UTF-8; the writer escapes control
+    characters, the parser decodes [\uXXXX] escapes (no surrogate pairs —
+    the writer never produces them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality.  Object fields compare in order — two objects with
+    the same fields in different orders are {e not} equal, which is the
+    right notion for trace round-trip checks (the writer emits fields in a
+    fixed order). *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default: no newlines, so a value is exactly one JSONL line.
+    [~pretty:true] indents — for [BENCH_*.json] files meant to be read (and
+    diffed) by humans too. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty (indented) rendering. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed); the error
+    string carries a character offset. *)
+
+(** {1 Accessors}
+
+    Total lookups for digging into parsed artifacts; [None] on shape
+    mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj}, [None] for absent fields and non-objects. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts {!Int} too (widened). *)
+
+val to_bool_opt : t -> bool option
+val to_str_opt : t -> string option
+val to_list_opt : t -> t list option

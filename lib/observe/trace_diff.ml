@@ -1,0 +1,37 @@
+type side = Left | Right
+
+type entry =
+  | Mismatch of { index : int; left : Event.stamped; right : Event.stamped }
+  | Only of { side : side; index : int; event : Event.stamped }
+
+let compute ?kinds left right =
+  let keep =
+    match kinds with
+    | None -> fun _ -> true
+    | Some ks -> fun (e : Event.stamped) -> List.mem (Event.kind e.Event.event) ks
+  in
+  let left = List.filter keep left and right = List.filter keep right in
+  let rec go index l r acc =
+    match (l, r) with
+    | [], [] -> List.rev acc
+    | a :: l, b :: r ->
+      let acc =
+        if Event.equal_stamped a b then acc else Mismatch { index; left = a; right = b } :: acc
+      in
+      go (index + 1) l r acc
+    | a :: l, [] -> go (index + 1) l [] (Only { side = Left; index; event = a } :: acc)
+    | [], b :: r -> go (index + 1) [] r (Only { side = Right; index; event = b } :: acc)
+  in
+  go 0 left right []
+
+let side_string = function Left -> "left only " | Right -> "right only"
+
+let pp_entry ppf = function
+  | Mismatch { index; left; right } ->
+    Format.fprintf ppf "@[<v 2>#%d differs:@ - %a@ + %a@]" index Event.pp_stamped left
+      Event.pp_stamped right
+  | Only { side; index; event } ->
+    Format.fprintf ppf "#%d %s: %a" index (side_string side) Event.pp_stamped event
+
+let pp ppf entries =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) entries

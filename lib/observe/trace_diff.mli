@@ -1,0 +1,28 @@
+(** Structural diff of two traces — the debugging story for "why did this
+    schedule differ from that one".
+
+    Traces of deterministic runs (same algorithm, same n, same seed, same
+    fault plan) are event-for-event identical, stamps included, so the diff
+    of two such runs is empty; the first divergence between two {e
+    different} runs pinpoints the step where a schedule, coin toss or
+    injected fault changed the execution.  The comparison is positional:
+    event [i] of the left trace against event [i] of the right, with
+    leftover suffixes reported per side. *)
+
+type side = Left | Right
+
+type entry =
+  | Mismatch of { index : int; left : Event.stamped; right : Event.stamped }
+      (** The traces disagree at position [index]. *)
+  | Only of { side : side; index : int; event : Event.stamped }
+      (** One trace is longer; [event] is position [index] of that side. *)
+
+val compute : ?kinds:string list -> Event.stamped list -> Event.stamped list -> entry list
+(** Diff entries in position order; [[]] iff the traces agree.  [kinds]
+    restricts the comparison to events of the given {!Event.kinds} (both
+    traces are filtered before comparing). *)
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> entry list -> unit
+(** One line per entry; prints nothing for an empty diff. *)

@@ -1,0 +1,28 @@
+let save path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (Event.to_json e));
+          output_char oc '\n')
+        events)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go line_no acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (line_no + 1) acc
+          | line -> (
+            match Result.bind (Json.parse line) Event.of_json with
+            | Ok e -> go (line_no + 1) (e :: acc)
+            | Error e -> Error (Printf.sprintf "%s:%d: %s" path line_no e))
+        in
+        go 1 [])

@@ -1,0 +1,13 @@
+(** JSONL persistence for traces.
+
+    A trace file is one compact JSON object per line ({!Event.to_json} of
+    each stamped event), in stamp order.  Blank lines are ignored on load;
+    anything else that fails to parse is a hard error carrying the line
+    number, not a skip — a trace that silently loses events cannot be
+    trusted as a diffing artifact. *)
+
+val save : string -> Event.stamped list -> unit
+(** Write the events to the path (truncating), one JSONL line each. *)
+
+val load : string -> (Event.stamped list, string) result
+(** Read a trace back; the inverse of {!save}. *)

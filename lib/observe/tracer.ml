@@ -1,0 +1,58 @@
+open Lb_memory
+
+type sink =
+  | Ring of { slots : Event.stamped option array; capacity : int }
+  | Channel of out_channel
+
+type t = { mutable seq : int; sink : sink }
+
+let ring ?(capacity = 1 lsl 20) () =
+  if capacity <= 0 then invalid_arg "Tracer.ring: capacity must be positive";
+  { seq = 0; sink = Ring { slots = Array.make capacity None; capacity } }
+
+let on_channel oc = { seq = 0; sink = Channel oc }
+
+let emit t event =
+  let stamped = { Event.at = t.seq; event } in
+  t.seq <- t.seq + 1;
+  match t.sink with
+  | Ring { slots; capacity } -> slots.(stamped.Event.at mod capacity) <- Some stamped
+  | Channel oc ->
+    output_string oc (Json.to_string (Event.to_json stamped));
+    output_char oc '\n'
+
+let events t =
+  match t.sink with
+  | Channel _ -> []
+  | Ring { slots; capacity } ->
+    let first = max 0 (t.seq - capacity) in
+    List.init (t.seq - first) (fun i -> slots.((first + i) mod capacity))
+    |> List.filter_map Fun.id
+
+let emitted t = t.seq
+
+let dropped t =
+  match t.sink with Channel _ -> 0 | Ring { capacity; _ } -> max 0 (t.seq - capacity)
+
+let flush t = match t.sink with Channel oc -> Stdlib.flush oc | Ring _ -> ()
+
+(* ---- ambient tracer ---- *)
+
+let ambient : t option ref = ref None
+
+let install o = ambient := o
+let installed () = !ambient
+let active () = Option.is_some !ambient
+let record event = match !ambient with None -> () | Some t -> emit t event
+
+let with_tracer t f =
+  let previous = !ambient in
+  ambient := Some t;
+  Fun.protect ~finally:(fun () -> ambient := previous) f
+
+let attach_memory memory =
+  if active () then
+    Memory.set_tap memory
+      (Some
+         (fun ~pid invocation response ~spurious ->
+           record (Event.Shared_access { pid; invocation; response; spurious })))

@@ -1,0 +1,65 @@
+(** Event sinks and the ambient tracer.
+
+    A tracer stamps {!Event.t}s with a per-run sequence number and stores
+    them in a bounded ring buffer (the default — keeps the most recent
+    events, counts what it drops) or streams them to a channel as JSONL,
+    one compact JSON object per line.
+
+    Instrumented code does not thread a tracer through every call: it asks
+    the {e ambient} tracer ({!record}), installed for the extent of a run
+    with {!install} or {!with_tracer}.  When no tracer is installed,
+    {!active} is false and every instrumentation site reduces to one ref
+    read — runs with tracing disabled are bit-identical to, and within
+    noise as fast as, untraced runs (checked by [test/suite_observe.ml]
+    and the E7 overhead gate). *)
+
+open Lb_memory
+
+type t
+
+val ring : ?capacity:int -> unit -> t
+(** In-memory sink keeping the most recent [capacity] (default [1 lsl 20])
+    events. *)
+
+val on_channel : out_channel -> t
+(** Streaming sink: each event is written immediately as one JSONL line.
+    {!events} on a channel sink is empty — the artifact {e is} the trace. *)
+
+val emit : t -> Event.t -> unit
+(** Stamp and record one event. *)
+
+val events : t -> Event.stamped list
+(** Recorded events, oldest first (ring sinks only). *)
+
+val emitted : t -> int
+(** Total events emitted, including any dropped by a full ring. *)
+
+val dropped : t -> int
+(** Events a ring sink has overwritten; 0 for channel sinks. *)
+
+val flush : t -> unit
+(** Flush a channel sink; no-op for rings. *)
+
+(** {1 The ambient tracer} *)
+
+val install : t option -> unit
+(** Make the given tracer the ambient one (or uninstall with [None]). *)
+
+val installed : unit -> t option
+
+val active : unit -> bool
+(** True iff a tracer is installed — the guard every instrumentation site
+    checks before constructing an event. *)
+
+val record : Event.t -> unit
+(** Emit to the ambient tracer; no-op when none is installed. *)
+
+val with_tracer : t -> (unit -> 'a) -> 'a
+(** Install for the extent of the callback, restoring the previous ambient
+    tracer afterwards (exception-safe). *)
+
+val attach_memory : Memory.t -> unit
+(** If a tracer is active, install a {!Lb_memory.Memory.tap} on the memory
+    that records every applied operation as a {!Event.Shared_access}
+    (spurious SC failures flagged).  No-op when tracing is off, so
+    executors can call it unconditionally at memory-creation time. *)

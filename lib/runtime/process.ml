@@ -31,9 +31,12 @@ let rec advance_local p assignment =
   | Program.Return x -> p.status <- Terminated x
   | Program.Op _ -> ()
   | Program.Toss k ->
-    let outcome = assignment ~pid:p.id ~idx:p.num_tosses in
-    p.num_tosses <- p.num_tosses + 1;
+    let idx = p.num_tosses in
+    let outcome = assignment ~pid:p.id ~idx in
+    p.num_tosses <- idx + 1;
     p.tosses <- outcome :: p.tosses;
+    if Lb_observe.Tracer.active () then
+      Lb_observe.Tracer.record (Lb_observe.Event.Coin_toss { pid = p.id; idx; outcome });
     p.program <- k outcome;
     advance_local p assignment
 

@@ -17,9 +17,13 @@ type 'a step_record = { invocation : Op.invocation; response : Op.response; roun
 type 'a t
 
 val create : id:int -> 'a Program.t -> 'a t
+(** A fresh process at the start of its program, no steps recorded. *)
+
 val id : 'a t -> int
 val status : 'a t -> 'a status
+
 val is_terminated : 'a t -> bool
+(** [status t <> Running]. *)
 
 val num_tosses : 'a t -> int
 (** Coin tosses performed so far — the paper's [numtosses]. *)

@@ -33,14 +33,23 @@ end
     (decoded) response. *)
 
 val ll : int -> Value.t t
+(** [ll r] load-links register [r]. *)
+
 val sc : int -> Value.t -> (bool * Value.t) t
+(** [sc r v] store-conditionals [v] to [r]; returns (success, current). *)
+
 val sc_flag : int -> Value.t -> bool t
+(** [sc r v] keeping only the success flag. *)
+
 val validate : int -> (bool * Value.t) t
+(** [validate r]: is this process's link to [r] still intact? *)
+
 val read : int -> Value.t t
 (** [read r] is [validate r] keeping only the value — the paper's observation
     that validate subsumes read. *)
 
 val swap : int -> Value.t -> Value.t t
+(** [swap r v] writes [v] to [r] and returns the previous value. *)
 
 val move : src:int -> dst:int -> unit t
 (** Raises [Invalid_argument] if [src = dst]: the model's move operates on
@@ -57,6 +66,9 @@ val toss_bounded : int -> int t
 (** {1 Composition helpers} *)
 
 val iter_list : ('a -> unit t) -> 'a list -> unit t
+(** Sequence a program over each list element, left to right; likewise
+    {!fold_list} and {!map_list}. *)
+
 val fold_list : ('acc -> 'a -> 'acc t) -> 'acc -> 'a list -> 'acc t
 val map_list : ('a -> 'b t) -> 'a list -> 'b list t
 

@@ -9,6 +9,7 @@ type 'a t = {
 let create ?memory ?(assignment = Coin.constant 0) ~n program_of =
   if n <= 0 then invalid_arg "System.create: n must be positive";
   let memory = match memory with Some m -> m | None -> Memory.create () in
+  Lb_observe.Tracer.attach_memory memory;
   { memory; processes = Array.init n (fun i -> Process.create ~id:i (program_of i)); assignment }
 
 let n t = Array.length t.processes
@@ -42,6 +43,16 @@ type diagnostics = {
   unfinished : int list;
 }
 
+let diagnostics_event d =
+  let outcome : Lb_observe.Event.run_outcome =
+    match d.outcome with
+    | All_terminated -> All_terminated
+    | Out_of_fuel -> Out_of_fuel
+    | Stalled -> Stalled
+  in
+  Lb_observe.Event.Run_end
+    { outcome; steps = d.steps; ops = d.ops_per_process; unfinished = d.unfinished }
+
 let run_diagnosed t choice ~fuel =
   let last = ref None in
   let rec go step_index remaining =
@@ -54,20 +65,30 @@ let run_diagnosed t choice ~fuel =
         | None -> (Stalled, step_index)
         | Some pid ->
           last := Some pid;
+          if Lb_observe.Tracer.active () then
+            Lb_observe.Tracer.record
+              (Lb_observe.Event.Sched
+                 { step = step_index; chosen = pid; runnable = runnable_pids });
           step t ~pid;
           go (step_index + 1) (remaining - 1))
   in
   let outcome, steps = go 0 fuel in
-  {
-    outcome;
-    steps;
-    last_scheduled = !last;
-    ops_per_process =
-      Array.to_list (Array.map (fun p -> (Process.id p, Process.shared_ops p)) t.processes);
-    unfinished =
-      Array.to_list t.processes
-      |> List.filter_map (fun p -> if Process.is_terminated p then None else Some (Process.id p));
-  }
+  let diagnostics =
+    {
+      outcome;
+      steps;
+      last_scheduled = !last;
+      ops_per_process =
+        Array.to_list (Array.map (fun p -> (Process.id p, Process.shared_ops p)) t.processes);
+      unfinished =
+        Array.to_list t.processes
+        |> List.filter_map (fun p ->
+               if Process.is_terminated p then None else Some (Process.id p));
+    }
+  in
+  if Lb_observe.Tracer.active () then
+    Lb_observe.Tracer.record (diagnostics_event diagnostics);
+  diagnostics
 
 let run t choice ~fuel = (run_diagnosed t choice ~fuel).outcome
 

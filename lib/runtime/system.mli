@@ -55,6 +55,12 @@ val run_diagnosed : 'a t -> Scheduler.choice -> fuel:int -> diagnostics
     an [Out_of_fuel] or [Stalled] outcome alone says nothing about {e which}
     process starved. *)
 
+val diagnostics_event : diagnostics -> Lb_observe.Event.t
+(** The diagnostics as an {!Lb_observe.Event.Run_end} trace event — the same
+    rendering certification verdict tables use, so a trace and a verdict
+    report show identical run summaries.  [run_diagnosed] records it
+    automatically when a tracer is active. *)
+
 val results : 'a t -> 'a option array
 (** Per-process results; [None] for processes still running. *)
 

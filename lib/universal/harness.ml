@@ -56,6 +56,7 @@ type slot = {
 
 let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
     ?(assignment = Coin.constant 0) ?fuel ?hooks () =
+  Lb_observe.Tracer.attach_memory memory;
   let slots =
     Array.init n (fun pid -> { pid; queue = ops pid; seq = 0; current = None; lost = 0 })
   in
@@ -76,12 +77,22 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
     | op :: rest ->
       slot.queue <- rest;
       let program = handle.Iface.apply ~pid:slot.pid ~seq:slot.seq op in
+      if Lb_observe.Tracer.active () then
+        Lb_observe.Tracer.record
+          (Lb_observe.Event.Op_invoked { pid = slot.pid; seq = slot.seq; op });
       slot.current <- Some (op, Process.create ~id:slot.pid program, tick ());
       slot.lost <- 0;
       slot.seq <- slot.seq + 1
   in
   Array.iter start_next slots;
   let finish slot op (proc : Value.t Process.t) invoked response =
+    let cost = Process.shared_ops proc + slot.lost in
+    Lb_observe.Metrics.observe_int (Lb_observe.Metrics.current ()) "harness.op_cost" cost;
+    Lb_observe.Metrics.incr (Lb_observe.Metrics.current ()) "harness.ops_completed";
+    if Lb_observe.Tracer.active () then
+      Lb_observe.Tracer.record
+        (Lb_observe.Event.Op_completed
+           { pid = slot.pid; seq = slot.seq - 1; op; response; cost });
     stats :=
       {
         pid = slot.pid;
@@ -90,20 +101,25 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
         response;
         invoked;
         responded = tick ();
-        cost = Process.shared_ops proc + slot.lost;
+        cost;
       }
       :: !stats;
     slot.current <- None;
     start_next slot
   in
   let fail slot op (proc : Value.t Process.t) invoked reason =
+    let cost = Process.shared_ops proc + slot.lost in
+    Lb_observe.Metrics.incr (Lb_observe.Metrics.current ()) "harness.ops_failed";
+    if Lb_observe.Tracer.active () then
+      Lb_observe.Tracer.record
+        (Lb_observe.Event.Op_failed { pid = slot.pid; seq = slot.seq - 1; op; reason; cost });
     failures :=
       {
         pid = slot.pid;
         seq = slot.seq - 1;
         op;
         reason;
-        cost = Process.shared_ops proc + slot.lost;
+        cost;
         invoked;
         gave_up = tick ();
       }
@@ -145,6 +161,7 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
       slot.lost <- slot.lost + Process.shared_ops proc;
       let program = handle.Iface.apply ~pid ~seq:(slot.seq - 1) op in
       slot.current <- Some (op, Process.create ~id:pid program, invoked);
+      Lb_observe.Metrics.incr (Lb_observe.Metrics.current ()) "harness.restarts";
       incr restarts
   in
   let total_ops = Array.fold_left (fun acc s -> acc + List.length s.queue + 1) 0 slots in
@@ -184,6 +201,9 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
           match scheduler ~step ~runnable:allowed with
           | None -> false
           | Some pid ->
+            if Lb_observe.Tracer.active () then
+              Lb_observe.Tracer.record
+                (Lb_observe.Event.Sched { step; chosen = pid; runnable = allowed });
             let slot = slots.(pid) in
             (match slot.current with
             | None -> assert false

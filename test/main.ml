@@ -15,5 +15,6 @@ let () =
       ("extensions", Suite_extensions.suite);
       ("fuzz", Suite_fuzz.suite);
       ("plumbing", Suite_plumbing.suite);
+      ("observe", Suite_observe.suite);
       ("experiments", Suite_experiments.suite);
     ]
