@@ -1,0 +1,107 @@
+(* Benchmark regression gate.
+
+   Compares the latest BENCH_simulator.json snapshot (written by
+   `bench/main.exe time`) against the committed baseline
+   bench/BASELINE_simulator.json and fails when any benchmark's ns_per_run
+   regressed by more than the tolerance (default 30%, matching the noise
+   floor of shared CI runners).
+
+   Usage:
+     bench/check.exe [--baseline FILE] [--dir DIR] [--tolerance PCT]
+
+   Exit codes: 0 ok (or no baseline committed yet — the gate must not block
+   the first run), 1 regression, 2 usage/missing-snapshot error. *)
+
+open Lowerbound
+
+let default_baseline = Filename.concat "bench" "BASELINE_simulator.json"
+
+let rec parse_args baseline dir tolerance = function
+  | [] -> (baseline, dir, tolerance)
+  | "--baseline" :: v :: rest -> parse_args v dir tolerance rest
+  | "--dir" :: v :: rest -> parse_args baseline v tolerance rest
+  | "--tolerance" :: v :: rest -> (
+    match float_of_string_opt v with
+    | Some pct when pct > 0.0 -> parse_args baseline dir (pct /. 100.0) rest
+    | Some _ | None ->
+      Format.printf "bad tolerance %S (positive percent expected)@." v;
+      exit 2)
+  | arg :: _ ->
+    Format.printf "unknown argument %S@." arg;
+    exit 2
+
+(* {"benchmarks": [{"name": ..., "ns_per_run": ...}, ...]} -> assoc list. *)
+let benchmarks_of_payload payload =
+  match Json.member "benchmarks" payload with
+  | Some (Json.Arr entries) ->
+    List.filter_map
+      (fun entry ->
+        match (Json.member "name" entry, Json.member "ns_per_run" entry) with
+        | Some name, Some ns -> (
+          match (Json.to_str_opt name, Json.to_float_opt ns) with
+          | Some name, Some ns -> Some (name, ns)
+          | _ -> None)
+        | _ -> None)
+      entries
+  | _ -> []
+
+let () =
+  let baseline_path, dir, tolerance =
+    parse_args default_baseline "." 0.30 (List.tl (Array.to_list Sys.argv))
+  in
+  if not (Sys.file_exists baseline_path) then begin
+    Format.printf "no committed baseline at %s; skipping the regression gate@." baseline_path;
+    exit 0
+  end;
+  let baseline =
+    let ic = open_in_bin baseline_path in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    match Json.parse raw with
+    | Ok json -> benchmarks_of_payload json
+    | Error msg ->
+      Format.printf "cannot parse %s: %s@." baseline_path msg;
+      exit 2
+  in
+  let current =
+    match Bench_out.read ~dir ~suite:"simulator" () with
+    | Ok (_ :: _ as snapshots) -> (
+      let latest = List.nth snapshots (List.length snapshots - 1) in
+      match Json.member "data" latest with
+      | Some payload -> benchmarks_of_payload payload
+      | None ->
+        Format.printf "latest simulator snapshot has no data field@.";
+        exit 2)
+    | Ok [] ->
+      Format.printf "no BENCH_simulator.json in %s — run `bench/main.exe time` first@." dir;
+      exit 2
+    | Error msg ->
+      Format.printf "cannot read BENCH_simulator.json: %s@." msg;
+      exit 2
+  in
+  Format.printf "== ns_per_run vs %s (tolerance +%.0f%%)@." baseline_path (tolerance *. 100.0);
+  let regressions = ref [] and missing = ref [] in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name current with
+      | None -> missing := name :: !missing
+      | Some ns ->
+        let ratio = if base > 0.0 then ns /. base else 1.0 in
+        let regressed = ratio > 1.0 +. tolerance in
+        if regressed then regressions := (name, base, ns, ratio) :: !regressions;
+        Format.printf "%-45s %12.0f -> %12.0f  (%+6.1f%%)%s@." name base ns
+          ((ratio -. 1.0) *. 100.0)
+          (if regressed then "  REGRESSION" else ""))
+    baseline;
+  List.iter
+    (fun name -> Format.printf "%-45s missing from the current run@." name)
+    (List.rev !missing);
+  match !regressions with
+  | [] ->
+    Format.printf "benchmark gate OK (%d benchmarks within tolerance)@." (List.length baseline);
+    exit 0
+  | regs ->
+    Format.printf "benchmark gate FAILED: %d regression(s) beyond +%.0f%%@." (List.length regs)
+      (tolerance *. 100.0);
+    exit 1

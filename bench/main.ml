@@ -14,14 +14,18 @@
      bench/main.exe exp          all experiment tables
      bench/main.exe exp e7       one experiment
      bench/main.exe quick        reduced-size experiment tables
-     bench/main.exe time         timing benches only *)
+     bench/main.exe time         timing benches only
+
+   A `-j N` / `--jobs N` pair anywhere in the arguments fans each experiment's
+   independent rows across N domains (0 = auto); tables are identical at any
+   N, only the wall-clock and the snapshot's "jobs" meta field change. *)
 
 open Lowerbound
 
 (* Each run appends a snapshot to BENCH_experiments.json / BENCH_simulator.json
    (schema in docs/OBSERVABILITY.md) alongside the human-readable tables. *)
 
-let run_tables ?(quick = false) thunks =
+let run_tables ?(quick = false) ~jobs thunks =
   let timed =
     List.map
       (fun (_, thunk) ->
@@ -48,7 +52,9 @@ let run_tables ?(quick = false) thunks =
       ]
   in
   let path =
-    Bench_out.append ~suite:"experiments" ~meta:[ ("quick", Json.Bool quick) ] data
+    Bench_out.append ~suite:"experiments"
+      ~meta:[ ("quick", Json.Bool quick); ("jobs", Json.Int jobs) ]
+      data
   in
   Format.printf "(wrote %s)@." path;
   let failures =
@@ -224,20 +230,37 @@ let charts () =
            points = cas_points };
        ])
 
+(* Strip `-j N` / `--jobs N` from the argument list; 0 means auto. *)
+let rec extract_jobs = function
+  | [] -> (1, [])
+  | ("-j" | "--jobs") :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some j when j >= 0 ->
+      let _, rest' = extract_jobs rest in
+      ((if j = 0 then Pool.default_jobs () else j), rest')
+    | Some _ | None ->
+      Format.printf "bad jobs value %S@." v;
+      exit 2)
+  | arg :: rest ->
+    let jobs, rest' = extract_jobs rest in
+    (jobs, arg :: rest')
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "exp" :: [] -> run_tables (Lb_experiments.Experiments.thunks ~quick:false)
-  | _ :: "exp" :: id :: _ -> (
-    match Lb_experiments.Experiments.by_id id with
-    | Some f -> run_tables [ (String.lowercase_ascii id, f) ]
+  let jobs, args = extract_jobs (List.tl (Array.to_list Sys.argv)) in
+  match args with
+  | "exp" :: [] -> run_tables ~jobs (Lb_experiments.Experiments.thunks ~jobs ~quick:false ())
+  | "exp" :: id :: _ -> (
+    match Lb_experiments.Experiments.by_id ~jobs id with
+    | Some f -> run_tables ~jobs [ (String.lowercase_ascii id, f) ]
     | None ->
       Format.printf "unknown experiment %s (have: %s)@." id
         (String.concat ", " Lb_experiments.Experiments.ids);
       exit 2)
-  | _ :: "quick" :: _ -> run_tables ~quick:true (Lb_experiments.Experiments.thunks ~quick:true)
-  | _ :: "time" :: _ -> timing ()
-  | _ :: "chart" :: _ -> charts ()
+  | "quick" :: _ ->
+    run_tables ~quick:true ~jobs (Lb_experiments.Experiments.thunks ~jobs ~quick:true ())
+  | "time" :: _ -> timing ()
+  | "chart" :: _ -> charts ()
   | _ ->
-    run_tables (Lb_experiments.Experiments.thunks ~quick:false);
+    run_tables ~jobs (Lb_experiments.Experiments.thunks ~jobs ~quick:false ());
     charts ();
     timing ()

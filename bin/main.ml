@@ -20,6 +20,19 @@ let setup_logs style_renderer level =
 let logging =
   Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
 
+(* --jobs/-j: 1 = sequential (the determinism baseline), 0 = auto
+   (LOWERBOUND_JOBS or the machine's recommended domain count).  Tables and
+   traces are identical at every value — see docs/PERFORMANCE.md. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~doc:
+          "Domains to fan independent work across (1 = sequential, 0 = auto from \
+           $(b,LOWERBOUND_JOBS) or the CPU count).  Results are identical at every value.")
+
+let resolve_jobs jobs = if jobs = 0 then Pool.default_jobs () else jobs
+
 (* ---- exp ---- *)
 
 let exp_cmd =
@@ -29,14 +42,15 @@ let exp_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-size sweeps (fast).")
   in
-  let run () ids quick =
+  let run () ids quick jobs =
+    let jobs = resolve_jobs jobs in
     let tables =
       match ids with
-      | [] -> Lb_experiments.Experiments.all ~quick
+      | [] -> Lb_experiments.Experiments.all ~jobs ~quick ()
       | ids ->
         List.map
           (fun id ->
-            match Lb_experiments.Experiments.by_id id with
+            match Lb_experiments.Experiments.by_id ~jobs id with
             | Some f -> f ()
             | None -> failwith (Printf.sprintf "unknown experiment %s" id))
           ids
@@ -44,7 +58,7 @@ let exp_cmd =
     List.iter (fun t -> Format.printf "%a@.@." Lb_experiments.Table.pp t) tables;
     if List.for_all (fun t -> t.Lb_experiments.Table.pass) tables then 0 else 1
   in
-  let term = Term.(const run $ logging $ ids_arg $ quick) in
+  let term = Term.(const run $ logging $ ids_arg $ quick $ jobs_arg) in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run experiment tables (the paper's results as measurements).")
     term
@@ -373,7 +387,8 @@ let faults_cmd =
       value & opt int 1
       & info [ "ops" ] ~docv:"K" ~doc:"Operations per process (construction targets only).")
   in
-  let run () target n seed plan_name ops =
+  let run () target n seed plan_name ops jobs =
+    let jobs = resolve_jobs jobs in
     let plans =
       if plan_name = "all" then Fault_plan.named ~n |> List.map snd
       else
@@ -384,20 +399,20 @@ let faults_cmd =
             (Printf.sprintf "unknown plan %S (one of: %s; join with '+', or 'all')" plan_name
                (String.concat ", " Fault_plan.plan_names))
     in
-    let certify_construction t plan =
+    (* Certifications fan across domains; the reports print sequentially in
+       plan-matrix order afterwards, so the output is job-count-invariant. *)
+    let certify_construction t plan () =
       let r = Faults.run ~target:t ~plan ~n ~seed ~ops_per_process:ops () in
-      Format.printf "%a@." Faults.pp_report r;
-      r.Faults.status
+      ((fun () -> Format.printf "%a@." Faults.pp_report r), r.Faults.status)
     in
-    let certify_wakeup (entry : Corpus.entry) plan =
+    let certify_wakeup (entry : Corpus.entry) plan () =
       let r =
         Faults.run_wakeup ~algorithm:entry.Corpus.name ~make:entry.Corpus.make ~plan ~n ~seed
           ~randomized:entry.Corpus.randomized ()
       in
-      Format.printf "%a@." Faults.pp_wakeup_report r;
-      r.Faults.wstatus
+      ((fun () -> Format.printf "%a@." Faults.pp_wakeup_report r), r.Faults.wstatus)
     in
-    let statuses =
+    let matrix =
       match target with
       | "all" ->
         List.concat_map
@@ -410,6 +425,8 @@ let faults_cmd =
           let entry = find_entry target in
           List.map (certify_wakeup entry) plans)
     in
+    let reports = Pool.map ~jobs (fun certify -> certify ()) matrix in
+    let statuses = List.map (fun (print, status) -> print (); status) reports in
     let count s = List.length (List.filter (( = ) s) statuses) in
     Format.printf "@.certified: %d  degraded: %d  violated: %d@." (count Faults.Certified)
       (count Faults.Degraded) (count Faults.Violated);
@@ -422,7 +439,7 @@ let faults_cmd =
           a fault plan — crashes, crash-recovery, spurious SC failures, delays, stalled \
           regions — and report a structured per-process verdict (exit 3 on a certification \
           violation).")
-    Term.(const run $ logging $ target_arg $ n_arg $ seed_arg $ plan_arg $ ops_arg)
+    Term.(const run $ logging $ target_arg $ n_arg $ seed_arg $ plan_arg $ ops_arg $ jobs_arg)
 
 (* ---- explore ---- *)
 
@@ -432,20 +449,41 @@ let explore_cmd =
       value & opt int 500_000
       & info [ "max-runs" ] ~docv:"K" ~doc:"Abort if more interleavings than this.")
   in
-  let run () name n max_runs =
+  let reduced_flag =
+    Arg.(
+      value & flag
+      & info [ "reduced" ]
+          ~doc:
+            "Use sleep-set + state-dedup reduction: explores a schedule subset covering every \
+             distinct (results, wakeup verdict) outcome, and reports how many subtrees were \
+             pruned.  Sound for the wakeup check; orders of magnitude fewer schedules.")
+  in
+  let run () name n max_runs reduced =
     let entry = find_entry name in
     let program_of, inits = entry.Corpus.make ~n in
     let coin_range = if entry.Corpus.randomized then [ 0; 1 ] else [ 0 ] in
     let violations = ref 0 in
+    let check run = if not (Explore.wakeup_ok ~n run) then incr violations in
     (try
-       let count =
-         Explore.iter ~n ~program_of ~inits ~coin_range ~max_runs
-           ~f:(fun run -> if not (Explore.wakeup_ok ~n run) then incr violations)
-           ()
-       in
-       Format.printf "%s at n = %d: %d interleavings, %d wakeup violations -> %s@." name n count
-         !violations
-         (if !violations = 0 then "VERIFIED" else "VIOLATED")
+       if reduced then begin
+         let stats =
+           Explore.iter_reduced ~n ~program_of ~inits ~coin_range ~max_runs ~f:check ()
+         in
+         Format.printf
+           "%s at n = %d (reduced): %d schedules explored (%d sleep-set prunes, %d revisited \
+            states cut), %d wakeup violations -> %s@."
+           name n stats.Explore.runs stats.Explore.sleep_pruned stats.Explore.dedup_pruned
+           !violations
+           (if !violations = 0 then "VERIFIED" else "VIOLATED")
+       end
+       else begin
+         let count =
+           Explore.iter ~n ~program_of ~inits ~coin_range ~max_runs ~f:check ()
+         in
+         Format.printf "%s at n = %d: %d interleavings, %d wakeup violations -> %s@." name n
+           count !violations
+           (if !violations = 0 then "VERIFIED" else "VIOLATED")
+       end
      with Explore.Limit_exceeded k ->
        Format.printf "state space exceeds %d runs; reduce n or raise --max-runs@." k);
     if !violations = 0 then 0 else 3
@@ -454,8 +492,9 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:
          "Exhaustively verify a wakeup algorithm over every interleaving (and coin outcome) at \
-          a small n (exit 3 if violations are found).")
-    Term.(const run $ logging $ name_arg $ n_arg $ max_runs_arg)
+          a small n (exit 3 if violations are found); $(b,--reduced) prunes commuting and \
+          revisited schedules first.")
+    Term.(const run $ logging $ name_arg $ n_arg $ max_runs_arg $ reduced_flag)
 
 let main_cmd =
   let doc =

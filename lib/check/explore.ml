@@ -15,13 +15,24 @@ type 'a proc = Blocked of Op.invocation * (Op.response -> 'a Program.t) | Done o
 
 (* Resolve leading tosses of a program into every reachable [proc],
    branching over the coin range.  The accompanying event list (reversed)
-   records terminations discovered during expansion. *)
+   records terminations discovered during expansion; the outcome list
+   (chronological) records the toss results that select the branch. *)
 let rec expand coin_range pid program =
   match program with
-  | Program.Return x -> [ (Done x, [ Returned (pid, x) ]) ]
-  | Program.Op (inv, k) -> [ (Blocked (inv, k), []) ]
+  | Program.Return x -> [ (Done x, [ Returned (pid, x) ], []) ]
+  | Program.Op (inv, k) -> [ (Blocked (inv, k), [], []) ]
   | Program.Toss k ->
-    List.concat_map (fun outcome -> expand coin_range pid (k outcome)) coin_range
+    List.concat_map
+      (fun outcome ->
+        List.map
+          (fun (proc, events, outcomes) -> (proc, events, outcome :: outcomes))
+          (expand coin_range pid (k outcome)))
+      coin_range
+
+(* Remove [pid] from a sorted runnable list (no-op when absent). *)
+let rec remove_runnable pid = function
+  | [] -> []
+  | p :: rest -> if p = pid then rest else p :: remove_runnable pid rest
 
 let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000) ~f () =
   if coin_range = [] then invalid_arg "Explore.iter: empty coin range";
@@ -41,12 +52,10 @@ let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000
     in
     f { events = List.rev events; results }
   in
-  let rec go memory procs events =
-    let runnable =
-      Pmap.fold
-        (fun pid p acc -> match p with Blocked _ -> pid :: acc | Done _ -> acc)
-        procs []
-    in
+  (* [runnable] is the ascending list of blocked pids, maintained
+     incrementally: a pid leaves when its expansion terminates, so no
+     per-step scan of the whole process map is needed. *)
+  let rec go memory procs runnable events =
     match runnable with
     | [] -> emit procs events
     | _ :: _ ->
@@ -58,21 +67,31 @@ let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000
             let response, memory' = Pure_memory.apply memory ~pid inv in
             let stepped = Stepped (pid, inv, response) in
             List.iter
-              (fun (proc', expand_events) ->
-                go memory' (Pmap.add pid proc' procs) (expand_events @ (stepped :: events)))
+              (fun (proc', expand_events, _) ->
+                let runnable' =
+                  match proc' with
+                  | Done _ -> remove_runnable pid runnable
+                  | Blocked _ -> runnable
+                in
+                go memory' (Pmap.add pid proc' procs) runnable'
+                  (expand_events @ (stepped :: events)))
               (expand coin_range pid (k response)))
-        (List.rev runnable)
+        runnable
   in
-  (* Initial expansion of every process (cartesian product over processes). *)
-  let rec init pid procs events =
-    if pid = n then go memory0 procs events
+  (* Initial expansion of every process (cartesian product over processes).
+     [runnable] accumulates in descending order; reversed once at the root. *)
+  let rec init pid procs runnable events =
+    if pid = n then go memory0 procs (List.rev runnable) events
     else
       List.iter
-        (fun (proc, expand_events) ->
-          init (pid + 1) (Pmap.add pid proc procs) (expand_events @ events))
+        (fun (proc, expand_events, _) ->
+          let runnable' =
+            match proc with Done _ -> runnable | Blocked _ -> pid :: runnable
+          in
+          init (pid + 1) (Pmap.add pid proc procs) runnable' (expand_events @ events))
         (expand coin_range pid (program_of pid))
   in
-  init 0 Pmap.empty [];
+  init 0 Pmap.empty [] [];
   !count
 
 exception Found
@@ -107,3 +126,160 @@ let wakeup_ok ~n run =
     | Some stepped -> Ids.equal stepped (Ids.range n)
   in
   returns_ok && somebody && cond3
+
+(* ---- reduced exploration ---- *)
+
+type stats = { runs : int; sleep_pruned : int; dedup_pruned : int }
+
+(* The registers an invocation can read or write.  Two invocations with
+   disjoint footprints commute exactly in [Pure_memory]: same responses,
+   same final memory, either order.  This is conservative — e.g. two [Ll]s
+   of the same register by different processes also commute — but register
+   disjointness is the cheap sound check. *)
+let footprint = function
+  | Op.Ll r | Op.Sc (r, _) | Op.Validate r | Op.Swap (r, _) -> [ r ]
+  | Op.Move (src, dst) -> [ src; dst ]
+
+let conflicts a b =
+  let fa = footprint a in
+  List.exists (fun r -> List.mem r fa) (footprint b)
+
+(* The run-prefix information [wakeup_ok]-style predicates depend on:
+   which processes have stepped, frozen at the first [Returned (_, 1)].
+   Two prefixes with equal summaries (and equal memory and histories) give
+   every extension the same verdict. *)
+type summary = Before of Ids.t | After of Ids.t
+
+let update_summary summary chrono_events =
+  List.fold_left
+    (fun s e ->
+      match (s, e) with
+      | After _, _ -> s
+      | Before stepped, Stepped (pid, _, _) -> Before (Ids.add pid stepped)
+      | Before stepped, Returned (_, 1) -> After stepped
+      | Before _, Returned (_, _) -> s)
+    summary chrono_events
+
+let iter_reduced ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
+    ?(max_runs = 200_000) ~f () =
+  if coin_range = [] then invalid_arg "Explore.iter_reduced: empty coin range";
+  let module Pmap = Map.Make (Int) in
+  let memory0 = Pure_memory.create ~inits () in
+  let runs = ref 0 in
+  let sleep_pruned = ref 0 in
+  let dedup_pruned = ref 0 in
+  (* Visited states, keyed on (canonical memory, per-pid histories, summary)
+     — everything a state's future depends on.  Histories are (invocation,
+     response, toss outcomes) triples plus the initial-expansion outcomes,
+     so equal keys mean semantically equal continuations even though the
+     continuation closures themselves are incomparable.  The stored value is
+     the sleep set the state was explored with: a revisit with a sleep
+     superset is fully covered (prune); a revisit with new awake pids
+     re-explores under the intersection. *)
+  let visited = Hashtbl.create 1024 in
+  let emit procs events =
+    incr runs;
+    if !runs > max_runs then raise (Limit_exceeded max_runs);
+    let results =
+      Pmap.bindings procs
+      |> List.map (fun (pid, p) ->
+             match p with
+             | Done x -> (pid, x)
+             | Blocked _ -> assert false)
+    in
+    f { events = List.rev events; results }
+  in
+  let pending_inv procs pid =
+    match Pmap.find pid procs with
+    | Blocked (inv, _) -> inv
+    | Done _ -> assert false
+  in
+  let rec go memory procs hists runnable summary sleep events =
+    match runnable with
+    | [] -> emit procs events
+    | _ :: _ -> (
+      let key = (Pure_memory.canonical memory, Pmap.bindings hists, summary) in
+      match Hashtbl.find_opt visited key with
+      | Some old_sleep when Ids.subset old_sleep sleep -> incr dedup_pruned
+      | previous ->
+        let sleep =
+          match previous with
+          | Some old_sleep -> Ids.inter old_sleep sleep
+          | None -> sleep
+        in
+        Hashtbl.replace visited key sleep;
+        let z = ref sleep in
+        List.iter
+          (fun pid ->
+            if Ids.mem pid !z then incr sleep_pruned
+            else
+              match Pmap.find pid procs with
+              | Done _ -> assert false
+              | Blocked (inv, k) ->
+                let response, memory' = Pure_memory.apply memory ~pid inv in
+                let stepped = Stepped (pid, inv, response) in
+                let branches = expand coin_range pid (k response) in
+                List.iter
+                  (fun (proc', expand_events, outcomes) ->
+                    let summary' =
+                      update_summary summary (stepped :: List.rev expand_events)
+                    in
+                    (* A branch that returned is ordered w.r.t. everything
+                       (returns move the cond3 frontier), so it wakes every
+                       sleeper; an op-only branch wakes just the sleepers
+                       whose pending invocation touches a common register. *)
+                    let child_sleep =
+                      if expand_events <> [] then Ids.empty
+                      else
+                        Ids.filter
+                          (fun p -> not (conflicts (pending_inv procs p) inv))
+                          !z
+                    in
+                    let hists' =
+                      Pmap.add pid
+                        ((inv, response, outcomes) :: Pmap.find pid hists)
+                        hists
+                    in
+                    let runnable' =
+                      match proc' with
+                      | Done _ -> remove_runnable pid runnable
+                      | Blocked _ -> runnable
+                    in
+                    go memory' (Pmap.add pid proc' procs) hists' runnable' summary'
+                      child_sleep
+                      (expand_events @ (stepped :: events)))
+                  branches;
+                (* Sleepable only if no branch returned: sleeping a returning
+                   step would commute a [Returned] past later [Stepped]s,
+                   changing the summary of the pruned run's representative. *)
+                if List.for_all (fun (_, evs, _) -> evs = []) branches then
+                  z := Ids.add pid !z)
+          runnable)
+  in
+  let rec init pid procs hists runnable summary events =
+    if pid = n then go memory0 procs hists (List.rev runnable) summary Ids.empty events
+    else
+      List.iter
+        (fun (proc, expand_events, outcomes) ->
+          let summary' = update_summary summary (List.rev expand_events) in
+          (* The initial expansion is recorded as a pseudo-entry so states
+             reached through different initial coin outcomes never merge. *)
+          let hists' = Pmap.add pid [ (Op.Validate (-1), Op.Ack, outcomes) ] hists in
+          let runnable' =
+            match proc with Done _ -> runnable | Blocked _ -> pid :: runnable
+          in
+          init (pid + 1) (Pmap.add pid proc procs) hists' runnable' summary'
+            (expand_events @ events))
+        (expand coin_range pid (program_of pid))
+  in
+  init 0 Pmap.empty Pmap.empty [] (Before Ids.empty) [];
+  { runs = !runs; sleep_pruned = !sleep_pruned; dedup_pruned = !dedup_pruned }
+
+let for_all_reduced ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
+  try
+    ignore
+      (iter_reduced ~n ~program_of ?inits ?coin_range ?max_runs
+         ~f:(fun run -> if not (f run) then raise Found)
+         ());
+    true
+  with Found -> false

@@ -76,3 +76,60 @@ val wakeup_ok : n:int -> int run -> bool
 (** All three wakeup conditions on one run (condition 3 in the
     shared-op-step interpretation above, the one relevant to all corpus
     algorithms). *)
+
+(** {1 Reduced exploration}
+
+    [iter] enumerates the full multinomial schedule space; most of those
+    schedules only differ by swapping adjacent steps that touch disjoint
+    registers, and many interleavings reconverge to the same state.
+    {!iter_reduced} prunes both:
+
+    - {e sleep sets}: after exploring a process's step at a state, the
+      step is put to sleep for the sibling subtrees and stays asleep until
+      a conflicting step (shared register) executes — every pruned
+      schedule differs from an explored one only by commuting adjacent
+      independent steps.  A step whose expansion returns is treated as
+      dependent with everything, because commuting a [Returned] past a
+      [Stepped] changes which processes stepped before it.
+    - {e state dedup}: a state is keyed on (canonical memory, per-process
+      operation/response/toss histories, the {!steppers_before_first_one}
+      summary); reaching a visited key with a sleep set that covers the
+      stored one cannot reveal new behaviour and is cut off.
+
+    Soundness scope: reduction preserves the {e set} of distinct
+    [(results, wakeup verdict)] outcomes — sound for {!wakeup_ok}-style
+    predicates, which depend on the results and on which processes stepped
+    before the first 1-return, but {e not} for predicates sensitive to the
+    exact event order of every schedule.  The callback sees strictly fewer
+    runs; counts are reported in {!stats}.  See docs/PERFORMANCE.md for
+    the full argument. *)
+
+type stats = {
+  runs : int;  (** runs the callback saw. *)
+  sleep_pruned : int;  (** subtrees skipped by sleep sets. *)
+  dedup_pruned : int;  (** subtrees skipped as revisited states. *)
+}
+
+val iter_reduced :
+  n:int ->
+  program_of:(int -> int Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?max_runs:int ->
+  f:(int run -> unit) ->
+  unit ->
+  stats
+(** Like {!iter} under the reduction above.  [max_runs] bounds the runs
+    actually emitted. *)
+
+val for_all_reduced :
+  n:int ->
+  program_of:(int -> int Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?max_runs:int ->
+  f:(int run -> bool) ->
+  unit ->
+  bool
+(** {!for_all} over the reduced schedule set — equivalent to the full
+    [for_all] for predicates within the soundness scope above. *)

@@ -20,6 +20,10 @@ let pset t r = snd (state t r)
 
 let set t r st = { t with regs = Regs.add r st t.regs }
 
+let canonical t =
+  Regs.bindings t.regs
+  |> List.filter (fun (_, (v, ps)) -> not (v = t.default && Ids.is_empty ps))
+
 let apply t ~pid inv =
   match inv with
   | Op.Ll r ->

@@ -17,3 +17,10 @@ val apply : t -> pid:int -> Op.invocation -> Op.response * t
 
 val peek : t -> int -> Value.t
 val pset : t -> int -> Ids.t
+
+val canonical : t -> (int * (Value.t * Ids.t)) list
+(** The bindings that differ from the default state, in ascending register
+    order.  Two memories with the same default are observationally equal iff
+    their canonical forms are structurally equal ({!Lb_memory.Ids.t} values
+    built through the [Ids] API are themselves canonical), so the result is
+    usable as a dedup key. *)

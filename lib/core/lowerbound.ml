@@ -22,6 +22,8 @@
     - {!Json}, {!Event}, {!Tracer}, {!Trace_file}, {!Trace_diff}, {!Metrics},
       {!Bench_out}: the observability layer — structured trace events, the
       metrics registry and machine-readable benchmark artifacts;
+    - {!Pool}: the domain pool — deterministic order-preserving parallel
+      [map] with per-task metric/trace capture merged at join;
     - {!Fault_plan}, {!Fault_engine}, {!Retry}, {!Fault_targets}, {!Faults}:
       fault injection (crashes, recovery, weak LL/SC, delays) and the
       wait-freedom-under-adversity certification driver;
@@ -93,6 +95,9 @@ module Trace_file = Lb_observe.Trace_file
 module Trace_diff = Lb_observe.Trace_diff
 module Metrics = Lb_observe.Metrics
 module Bench_out = Lb_observe.Bench_out
+
+(* Parallel execution *)
+module Pool = Lb_exec.Pool
 
 (* Fault injection and certification *)
 module Fault_plan = Lb_faults.Fault_plan

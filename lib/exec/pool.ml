@@ -1,0 +1,100 @@
+(* A fixed pool of domains with deterministic, order-preserving results.
+
+   Design constraints, in priority order:
+   1. [map ~jobs:1] must be byte-identical to [List.map] — it IS
+      [List.map], no domains, no registry juggling — so sequential runs
+      (the determinism baseline the trace-diff gate checks) are untouched.
+   2. At [jobs > 1], results, metrics and traces must not depend on
+      scheduling: each task runs under a fresh domain-local metrics
+      registry (and, when the caller is tracing, a fresh ring sink), and
+      the captures are folded into the caller's registry/tracer in task
+      index order at join.  Same seed, any jobs => same observable output.
+   3. Stdlib only: [Domain.spawn] + an [Atomic] work counter; tasks are
+      claimed dynamically so uneven row costs (e.g. the large-n rows of an
+      experiment table) balance across domains. *)
+
+open Lb_observe
+
+let default_jobs () =
+  match Sys.getenv_opt "LOWERBOUND_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some 0 -> Domain.recommended_domain_count ()
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | None -> 1
+  | Some 0 -> Domain.recommended_domain_count ()
+  | Some j when j >= 1 -> j
+  | Some j -> invalid_arg (Printf.sprintf "Pool: negative jobs %d" j)
+
+type 'b capture =
+  | Pending
+  | Done of 'b * Metrics.t * Event.stamped list
+  | Raised of exn * Printexc.raw_backtrace * Metrics.t * Event.stamped list
+
+let map ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  match xs with
+  | [] -> []
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n Pending in
+    (* Decided in the caller's domain: workers are born untraced. *)
+    let traced = Tracer.active () in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let registry = Metrics.create () in
+          let tracer = if traced then Some (Tracer.ring ()) else None in
+          let run () = Metrics.with_registry registry (fun () -> f input.(i)) in
+          let outcome =
+            try
+              Ok (match tracer with Some t -> Tracer.with_tracer t run | None -> run ())
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          (* Even a failing task keeps what it published before the raise —
+             exactly what a sequential run would have left behind. *)
+          let events = match tracer with Some t -> Tracer.events t | None -> [] in
+          results.(i) <-
+            (match outcome with
+            | Ok y -> Done (y, registry, events)
+            | Error (e, bt) -> Raised (e, bt, registry, events));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the pool's first worker. *)
+    worker ();
+    List.iter Domain.join helpers;
+    (* Join: fold every task's captures into the caller's ambient registry
+       and tracer in task order, so the merged result is exactly what a
+       sequential run would have produced.  The first exception (by task
+       index, not by completion time) re-raises after all domains joined. *)
+    let into = Metrics.current () in
+    Array.iter
+      (function
+        | Done (_, registry, events) | Raised (_, _, registry, events) ->
+          Metrics.merge ~into registry;
+          Tracer.absorb events
+        | Pending -> ())
+      results;
+    Array.iter
+      (function Raised (e, bt, _, _) -> Printexc.raise_with_backtrace e bt | _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Done (y, _, _) -> y | Raised _ | Pending -> assert false)
+         results)
+
+let mapi ?jobs f xs = map ?jobs (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x) xs)

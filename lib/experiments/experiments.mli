@@ -36,30 +36,36 @@
     - E14 (related work [17, 18, 25]): the consensus-cell universal
       construction measures Theta(n) per operation. *)
 
-val e1 : ?ns:int list -> unit -> Table.t
-val e2 : ?specs:int -> unit -> Table.t
-val e3 : ?ns:int list -> unit -> Table.t
-val e4 : ?ns:int list -> ?seeds:int list -> unit -> Table.t
-val e5 : ?ns:int list -> unit -> Table.t
-val e6 : ?ns:int list -> unit -> Table.t
-val e7 : ?ns:int list -> unit -> Table.t
-val e8 : ?n:int -> ?seeds:int list -> unit -> Table.t
-val e9 : ?ns:int list -> unit -> Table.t
-val e10 : ?ns:int list -> unit -> Table.t
-val e11 : ?ns:int list -> unit -> Table.t
-val e12 : ?ns:int list -> unit -> Table.t
-val e13 : ?ns:int list -> unit -> Table.t
-val e14 : ?ns:int list -> unit -> Table.t
+(** Every experiment takes [?jobs] (default 1): its independent work items
+    (per-n rows, seeds, (algorithm, n) pairs) are fanned across that many
+    domains via {!Lowerbound.Pool.map}.  Tables are identical at every job
+    count — rows reassemble in item order and per-task metrics merge
+    deterministically — so [jobs] is purely a wall-clock knob. *)
 
-val all : quick:bool -> Table.t list
+val e1 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e2 : ?jobs:int -> ?specs:int -> unit -> Table.t
+val e3 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e4 : ?jobs:int -> ?ns:int list -> ?seeds:int list -> unit -> Table.t
+val e5 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e6 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e7 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e8 : ?jobs:int -> ?n:int -> ?seeds:int list -> unit -> Table.t
+val e9 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e10 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e11 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e12 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e13 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+val e14 : ?jobs:int -> ?ns:int list -> unit -> Table.t
+
+val all : ?jobs:int -> quick:bool -> unit -> Table.t list
 (** Every experiment; [quick] shrinks the sweeps (used by the test suite). *)
 
-val thunks : quick:bool -> (string * (unit -> Table.t)) list
+val thunks : ?jobs:int -> quick:bool -> unit -> (string * (unit -> Table.t)) list
 (** The same suite as [(id, thunk)] pairs, so drivers can run — and time —
     each experiment individually (the benchmark harness uses this to emit
     per-experiment wall-clock into BENCH_experiments.json). *)
 
-val by_id : string -> (unit -> Table.t) option
+val by_id : ?jobs:int -> string -> (unit -> Table.t) option
 (** Lookup by id ("e1" .. "e14", case-insensitive), full-size parameters. *)
 
 val ids : string list

@@ -139,6 +139,53 @@ let shift_left v k =
   done;
   normalize { width = v.width; limbs }
 
+let resize v ~width:k =
+  check_width k;
+  if k = v.width then v
+  else begin
+    let limbs = Array.make (limbs_for k) 0 in
+    Array.blit v.limbs 0 limbs 0 (min (Array.length v.limbs) (Array.length limbs));
+    normalize { width = k; limbs }
+  end
+
+let set_grow v i b =
+  if i < 0 then invalid_arg (Printf.sprintf "Bitvec.set_grow: negative bit %d" i);
+  let k = max v.width (i + 1) in
+  let limbs = Array.make (limbs_for k) 0 in
+  Array.blit v.limbs 0 limbs 0 (Array.length v.limbs);
+  let j = i / limb_bits and off = i mod limb_bits in
+  limbs.(j) <- (if b then limbs.(j) lor (1 lsl off) else limbs.(j) land lnot (1 lsl off));
+  normalize { width = k; limbs }
+
+let top_bit v =
+  let rec limb i =
+    if i < 0 then None
+    else if v.limbs.(i) = 0 then limb (i - 1)
+    else begin
+      let rec bit b = if v.limbs.(i) lsr b land 1 = 1 then b else bit (b - 1) in
+      Some ((i * limb_bits) + bit (limb_bits - 1))
+    end
+  in
+  limb (Array.length v.limbs - 1)
+
+let trim v =
+  let target = match top_bit v with None -> 1 | Some b -> b + 1 in
+  resize v ~width:target
+
+let fold_set f v acc =
+  let acc = ref acc in
+  for i = 0 to Array.length v.limbs - 1 do
+    let l = ref v.limbs.(i) in
+    let base = i * limb_bits in
+    let b = ref 0 in
+    while !l <> 0 do
+      if !l land 1 = 1 then acc := f (base + !b) !acc;
+      l := !l lsr 1;
+      incr b
+    done
+  done;
+  !acc
+
 let popcount v =
   let count_limb l =
     let rec go acc l = if l = 0 then acc else go (acc + (l land 1)) (l lsr 1) in

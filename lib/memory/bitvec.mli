@@ -63,6 +63,28 @@ val mul : t -> t -> t
 val shift_left : t -> int -> t
 (** [shift_left v k] multiplies by [2^k] modulo [2^width]; [k >= 0]. *)
 
+val resize : t -> width:int -> t
+(** [resize v ~width] reinterprets [v] at the given width: growing zero-pads,
+    shrinking discards the bits at and above [width].  Raises
+    [Invalid_argument] if [width <= 0]. *)
+
+val set_grow : t -> int -> bool -> t
+(** [set_grow v i b] is [set v i b], except the vector is first widened to
+    [i + 1] bits when [i] is beyond the current width — a single-allocation
+    combined widen-and-set, the {!Lb_memory.Ids} hot path. *)
+
+val top_bit : t -> int option
+(** Index of the most significant set bit, [None] when the vector is zero. *)
+
+val trim : t -> t
+(** Canonical form: width shrunk to [top_bit + 1] (width 1 for the zero
+    vector).  Two vectors holding the same bit set trim to structurally equal
+    values. *)
+
+val fold_set : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_set f v acc] folds [f] over the indices of set bits in ascending
+    order. *)
+
 val popcount : t -> int
 (** Number of set bits. *)
 

@@ -17,10 +17,20 @@ type interposer = pid:int -> Op.invocation -> directive
 
 type tap = pid:int -> Op.invocation -> Op.response -> spurious:bool -> unit
 
+(* Registers are allocated densely from 0 by [Layout], and per-process
+   shared-access counts are indexed by pids 0 .. n-1 — so both live in flat
+   growable arrays (a single bounds check and load on the hot path, no
+   hashing, no probe-then-store double lookup).  Register indices at or
+   above [dense_regs_limit] — legal but unheard of in practice — spill into
+   a hashtable so the arrays stay proportional to the registers actually
+   used. *)
+let dense_regs_limit = 1 lsl 20
+
 type t = {
-  regs : (int, Register.t) Hashtbl.t;
+  mutable regs : Register.t option array; (* index = register, < dense_regs_limit *)
+  sparse_regs : (int, Register.t) Hashtbl.t; (* registers >= dense_regs_limit *)
   default : Value.t;
-  counts : (int, int) Hashtbl.t; (* pid -> #shared ops *)
+  mutable counts : int array; (* index = pid; length grows by doubling *)
   mutable total : int;
   log_enabled : bool;
   mutable log : event list; (* newest first *)
@@ -30,9 +40,10 @@ type t = {
 
 let create ?(default = Value.Unit) ?(log = false) () =
   {
-    regs = Hashtbl.create 64;
+    regs = Array.make 64 None;
+    sparse_regs = Hashtbl.create 4;
     default;
-    counts = Hashtbl.create 16;
+    counts = Array.make 16 0;
     total = 0;
     log_enabled = log;
     log = [];
@@ -43,21 +54,42 @@ let create ?(default = Value.Unit) ?(log = false) () =
 let set_interposer m i = m.interposer <- i
 let set_tap m tap = m.tap <- tap
 
+let grow_to_hold a len ~default =
+  let n = max 1 (Array.length a) in
+  let n = ref n in
+  while !n <= len do
+    n := 2 * !n
+  done;
+  let a' = Array.make !n default in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
 let register m r =
   if r < 0 then invalid_arg (Printf.sprintf "Memory: negative register index %d" r);
-  match Hashtbl.find_opt m.regs r with
-  | Some reg -> reg
-  | None ->
-    let reg = Register.create m.default in
-    Hashtbl.add m.regs r reg;
-    reg
+  if r < dense_regs_limit then begin
+    if r >= Array.length m.regs then m.regs <- grow_to_hold m.regs r ~default:None;
+    match Array.unsafe_get m.regs r with
+    | Some reg -> reg
+    | None ->
+      let reg = Register.create m.default in
+      Array.unsafe_set m.regs r (Some reg);
+      reg
+  end
+  else
+    match Hashtbl.find_opt m.sparse_regs r with
+    | Some reg -> reg
+    | None ->
+      let reg = Register.create m.default in
+      Hashtbl.add m.sparse_regs r reg;
+      reg
 
 let set_init m r v = Register.write (register m r) v
 
 let count m pid =
+  if pid < 0 then invalid_arg (Printf.sprintf "Memory: negative process id %d" pid);
   m.total <- m.total + 1;
-  let c = Option.value ~default:0 (Hashtbl.find_opt m.counts pid) in
-  Hashtbl.replace m.counts pid (c + 1)
+  if pid >= Array.length m.counts then m.counts <- grow_to_hold m.counts pid ~default:0;
+  Array.unsafe_set m.counts pid (Array.unsafe_get m.counts pid + 1)
 
 let apply m ~pid invocation =
   let directive =
@@ -109,27 +141,38 @@ let apply m ~pid invocation =
     tap ~pid invocation response ~spurious);
   response
 
+let find_reg m r =
+  if r < 0 then None
+  else if r < dense_regs_limit then
+    if r < Array.length m.regs then m.regs.(r) else None
+  else Hashtbl.find_opt m.sparse_regs r
+
 let peek m r =
-  match Hashtbl.find_opt m.regs r with
-  | Some reg -> Register.value reg
-  | None -> m.default
+  match find_reg m r with Some reg -> Register.value reg | None -> m.default
 
 let pset m r =
-  match Hashtbl.find_opt m.regs r with
-  | Some reg -> Register.pset reg
-  | None -> Ids.empty
+  match find_reg m r with Some reg -> Register.pset reg | None -> Ids.empty
 
-let touched m = Hashtbl.fold (fun r _ acc -> r :: acc) m.regs [] |> List.sort Int.compare
+let fold_regs f m acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun r reg -> match reg with Some reg -> acc := f r reg !acc | None -> ())
+    m.regs;
+  Hashtbl.fold (fun r reg acc -> f r reg acc) m.sparse_regs !acc
+
+let touched m = fold_regs (fun r _ acc -> r :: acc) m [] |> List.sort Int.compare
 
 let snapshot m =
   touched m |> List.map (fun r -> (r, (peek m r, pset m r)))
 
 let largest_value_size m =
-  Hashtbl.fold (fun _ reg acc -> max acc (Value.size (Register.value reg))) m.regs 0
+  fold_regs (fun _ reg acc -> max acc (Value.size (Register.value reg))) m 0
 
-let ops_of m ~pid = Option.value ~default:0 (Hashtbl.find_opt m.counts pid)
+let ops_of m ~pid =
+  if pid >= 0 && pid < Array.length m.counts then m.counts.(pid) else 0
+
 let total_ops m = m.total
-let max_ops m = Hashtbl.fold (fun _ c acc -> max acc c) m.counts 0
+let max_ops m = Array.fold_left max 0 m.counts
 let events m = List.rev m.log
 
 let pp_event ppf { pid; invocation; response } =

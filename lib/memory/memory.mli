@@ -5,6 +5,12 @@
     accounting — the quantity the paper's lower bound is about — and an
     optional event log.
 
+    Registers and per-process counters live in flat growable arrays indexed
+    by register number / pid (registers are allocated densely from 0 by
+    {!Layout}), so the [apply] hot path performs no hashing and a single
+    probe per access; astronomically large register indices spill into a
+    side table.  Process ids must be non-negative.
+
     Semantics (Section 3), where [u] is the register's value and [A] its Pset
     before the operation, applied by process [p]:
     - [LL(R)]: Pset becomes [A ∪ {p}]; returns [u].

@@ -22,14 +22,16 @@ type t = (string, metric) Hashtbl.t
 let create () : t = Hashtbl.create 32
 let default : t = create ()
 
-let ambient = ref default
-let current () = !ambient
-let set_current t = ambient := t
+(* Domain-local, so pool workers (Lb_exec.Pool) each publish into their own
+   registry and the sequential single-domain behaviour is unchanged. *)
+let ambient = Domain.DLS.new_key (fun () -> default)
+let current () = Domain.DLS.get ambient
+let set_current t = Domain.DLS.set ambient t
 
 let with_registry t f =
-  let previous = !ambient in
-  ambient := t;
-  Fun.protect ~finally:(fun () -> ambient := previous) f
+  let previous = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient previous) f
 
 let reset t = Hashtbl.reset t
 
@@ -122,6 +124,32 @@ let histogram t name =
     Some
       { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max; buckets }
   | Some (Counter _ | Gauge _) -> kind_error name ~wanted:"histogram"
+
+let merge ~into src =
+  (* Names in sorted order so a merge's effect (and any kind-mismatch error)
+     is deterministic regardless of hashtable iteration order. *)
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) src [] |> List.sort String.compare in
+  List.iter
+    (fun name ->
+      match Hashtbl.find src name with
+      | Counter r -> incr ~by:!r into name
+      | Gauge r -> set_gauge into name !r
+      | Histogram h ->
+        (match Hashtbl.find_opt into name with
+        | None ->
+          declare_histogram into name ~bounds:(Array.to_list h.bounds)
+        | Some (Histogram _) -> ()
+        | Some (Counter _ | Gauge _) -> kind_error name ~wanted:"histogram");
+        let dst = hist_of into name in
+        if dst.bounds <> h.bounds then
+          invalid_arg
+            (Printf.sprintf "Metrics.merge: histogram %S bucket bounds differ" name);
+        Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts;
+        dst.h_count <- dst.h_count + h.h_count;
+        dst.h_sum <- dst.h_sum +. h.h_sum;
+        if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+        if h.h_max > dst.h_max then dst.h_max <- h.h_max)
+    names
 
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare

@@ -23,7 +23,19 @@ val current : unit -> t
 val set_current : t -> unit
 
 val with_registry : t -> (unit -> 'a) -> 'a
-(** Make [t] current for the extent of the callback (exception-safe). *)
+(** Make [t] current for the extent of the callback (exception-safe).
+
+    The ambient registry is {e domain-local}: a freshly spawned domain
+    starts at {!default}, and [set_current]/[with_registry] only affect the
+    calling domain.  {!Lb_exec.Pool} exploits this to give each parallel
+    task an isolated registry, merged deterministically at join. *)
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters add, gauges take the source value
+    (last-write-wins, so merging task registries in task order reproduces
+    the sequential result), histograms add bucket counts and combine
+    count/sum/min/max.  Raises [Invalid_argument] on a metric-kind mismatch
+    or differing histogram bucket bounds. *)
 
 val reset : t -> unit
 (** Forget every metric. *)

@@ -38,17 +38,22 @@ let flush t = match t.sink with Channel oc -> Stdlib.flush oc | Ring _ -> ()
 
 (* ---- ambient tracer ---- *)
 
-let ambient : t option ref = ref None
+(* Domain-local: pool workers trace into their own sinks (merged in task
+   order at join), and the one-ref-read fast path stays uncontended. *)
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install o = ambient := o
-let installed () = !ambient
-let active () = Option.is_some !ambient
-let record event = match !ambient with None -> () | Some t -> emit t event
+let install o = Domain.DLS.set ambient o
+let installed () = Domain.DLS.get ambient
+let active () = Option.is_some (Domain.DLS.get ambient)
+let record event =
+  match Domain.DLS.get ambient with None -> () | Some t -> emit t event
 
 let with_tracer t f =
-  let previous = !ambient in
-  ambient := Some t;
-  Fun.protect ~finally:(fun () -> ambient := previous) f
+  let previous = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient previous) f
+
+let absorb events = List.iter (fun (s : Event.stamped) -> record s.Event.event) events
 
 let attach_memory memory =
   if active () then

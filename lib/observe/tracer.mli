@@ -56,7 +56,16 @@ val record : Event.t -> unit
 
 val with_tracer : t -> (unit -> 'a) -> 'a
 (** Install for the extent of the callback, restoring the previous ambient
-    tracer afterwards (exception-safe). *)
+    tracer afterwards (exception-safe).
+
+    The ambient tracer is {e domain-local}: installing only affects the
+    calling domain, and a fresh domain starts untraced.  {!Lb_exec.Pool}
+    gives each parallel task its own ring sink and {!absorb}s the captured
+    events into the parent's tracer in task order at join. *)
+
+val absorb : Event.stamped list -> unit
+(** Re-emit previously captured events into the ambient tracer (re-stamping
+    them with the ambient sequence); no-op when none is installed. *)
 
 val attach_memory : Memory.t -> unit
 (** If a tracer is active, install a {!Lb_memory.Memory.tap} on the memory

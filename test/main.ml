@@ -16,5 +16,6 @@ let () =
       ("fuzz", Suite_fuzz.suite);
       ("plumbing", Suite_plumbing.suite);
       ("observe", Suite_observe.suite);
+      ("exec", Suite_exec.suite);
       ("experiments", Suite_experiments.suite);
     ]

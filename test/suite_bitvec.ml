@@ -114,6 +114,48 @@ let test_to_string () =
   Alcotest.(check string) "small" "0x1f/8" (Bitvec.to_string (Bitvec.of_int ~width:8 31));
   Alcotest.(check string) "zero" "0x0/8" (Bitvec.to_string (Bitvec.zero 8))
 
+(* ---- set-view helpers (the Ids hot path) ---- *)
+
+let test_resize () =
+  let b = Bitvec.of_int ~width:8 0b1011 in
+  let grown = Bitvec.resize b ~width:40 in
+  check_int "grow keeps width" 40 (Bitvec.width grown);
+  Alcotest.(check (option int)) "grow zero-pads" (Some 0b1011) (Bitvec.to_int_opt grown);
+  let shrunk = Bitvec.resize b ~width:2 in
+  Alcotest.(check (option int)) "shrink truncates" (Some 0b11) (Bitvec.to_int_opt shrunk);
+  Alcotest.check bv "same width is identity" b (Bitvec.resize b ~width:8)
+
+let test_set_grow () =
+  let b = Bitvec.set_grow (Bitvec.zero 1) 70 true in
+  check "distant bit set" true (Bitvec.get b 70);
+  check "width grew past the bit" true (Bitvec.width b > 70);
+  check_int "only that bit" 1 (Bitvec.popcount b);
+  (* Within the current width it is plain set. *)
+  Alcotest.check bv "no growth needed" (Bitvec.set (Bitvec.zero 8) 3 true)
+    (Bitvec.set_grow (Bitvec.zero 8) 3 true)
+
+let test_top_bit () =
+  Alcotest.(check (option int)) "zero has none" None (Bitvec.top_bit (Bitvec.zero 64));
+  let b = Bitvec.set (Bitvec.set (Bitvec.zero 100) 3 true) 77 true in
+  Alcotest.(check (option int)) "highest set index" (Some 77) (Bitvec.top_bit b);
+  Alcotest.(check (option int)) "bit 0" (Some 0)
+    (Bitvec.top_bit (Bitvec.of_int ~width:33 1))
+
+let test_trim () =
+  (* Same bit set at different widths trims to one canonical vector —
+     what lets Ids use structural equality. *)
+  let at_width w = Bitvec.set (Bitvec.set_grow (Bitvec.zero w) 21 true) 4 true in
+  Alcotest.check bv "widths collapse" (Bitvec.trim (at_width 22)) (Bitvec.trim (at_width 200));
+  check_int "trimmed width is top_bit + 1" 22 (Bitvec.width (Bitvec.trim (at_width 90)));
+  check_int "zero trims to width 1" 1 (Bitvec.width (Bitvec.trim (Bitvec.zero 128)))
+
+let test_fold_set () =
+  let b = List.fold_left (fun b i -> Bitvec.set_grow b i true) (Bitvec.zero 1) [ 5; 0; 63; 64; 130 ] in
+  Alcotest.(check (list int)) "ascending indices" [ 0; 5; 63; 64; 130 ]
+    (List.rev (Bitvec.fold_set (fun i acc -> i :: acc) b []));
+  Alcotest.(check (list int)) "empty fold" []
+    (Bitvec.fold_set (fun i acc -> i :: acc) (Bitvec.zero 64) [])
+
 (* ---- properties ---- *)
 
 let gen_width = QCheck.Gen.oneofl widths
@@ -184,6 +226,83 @@ let properties =
         Bitvec.equal a b = (Bitvec.compare a b = 0));
   ]
 
+(* ---- Ids: the dense/sparse pid-set built on Bitvec ---- *)
+
+module Iset = Set.Make (Int)
+
+(* Id pools: small (always dense), straddling the 2^16 dense limit (forces
+   the sparse fallback), and mixed so unions/inters cross representations. *)
+let arb_id_lists =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "[%s] [%s]"
+        (String.concat ";" (List.map string_of_int a))
+        (String.concat ";" (List.map string_of_int b)))
+    QCheck.Gen.(
+      let id =
+        oneof
+          [ 0 -- 40; return 65535; 65536 -- 65600; return ((1 lsl 16) - 1); 100_000 -- 100_050 ]
+      in
+      pair (list_size (0 -- 25) id) (list_size (0 -- 25) id))
+
+let ids_prop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name arb_id_lists (fun (a, b) ->
+         f (Ids.of_list a, Iset.of_list a) (Ids.of_list b, Iset.of_list b)))
+
+let same ids iset = Ids.elements ids = Iset.elements iset
+
+let ids_properties =
+  [
+    ids_prop "of_list/elements matches Set" (fun (ia, sa) _ -> same ia sa);
+    ids_prop "union matches Set" (fun (ia, sa) (ib, sb) ->
+        same (Ids.union ia ib) (Iset.union sa sb));
+    ids_prop "inter matches Set" (fun (ia, sa) (ib, sb) ->
+        same (Ids.inter ia ib) (Iset.inter sa sb));
+    ids_prop "diff matches Set" (fun (ia, sa) (ib, sb) ->
+        same (Ids.diff ia ib) (Iset.diff sa sb));
+    ids_prop "subset matches Set" (fun (ia, sa) (ib, sb) ->
+        Ids.subset ia ib = Iset.subset sa sb);
+    ids_prop "equal iff same elements" (fun (ia, sa) (ib, sb) ->
+        Ids.equal ia ib = Iset.equal sa sb);
+    ids_prop "add/remove/mem match Set" (fun (ia, sa) _ ->
+        same (Ids.add 7 ia) (Iset.add 7 sa)
+        && same (Ids.remove 7 ia) (Iset.remove 7 sa)
+        && Ids.mem 7 ia = Iset.mem 7 sa
+        && Ids.cardinal ia = Iset.cardinal sa);
+    ids_prop "filter/choose/max match Set" (fun (ia, sa) _ ->
+        let even x = x mod 2 = 0 in
+        same (Ids.filter even ia) (Iset.filter even sa)
+        && Ids.choose_opt ia = Iset.min_elt_opt sa
+        && Ids.max_elt_opt ia = Iset.max_elt_opt sa);
+  ]
+
+let test_ids_canonical () =
+  (* The same contents reached along different op sequences — including a
+     detour through a sparse id — are structurally equal, so Ids values can
+     key Hashtbls via polymorphic equality. *)
+  let direct = Ids.of_list [ 1; 4 ] in
+  let via_sparse = Ids.remove 100_000 (Ids.of_list [ 4; 100_000; 1 ]) in
+  let via_churn = Ids.remove 9 (Ids.add 9 (Ids.add 4 (Ids.singleton 1))) in
+  Alcotest.(check bool) "sparse detour" true (direct = via_sparse);
+  Alcotest.(check bool) "dense churn" true (direct = via_churn);
+  Alcotest.(check bool) "empty after drain" true
+    (Ids.remove 70_000 (Ids.singleton 70_000) = Ids.empty);
+  Alcotest.check_raises "negative id" (Invalid_argument "Ids: negative process id -3")
+    (fun () -> ignore (Ids.add (-3) Ids.empty))
+
+let test_ids_range () =
+  Alcotest.(check (list int)) "range 4" [ 0; 1; 2; 3 ] (Ids.elements (Ids.range 4));
+  Alcotest.(check (list int)) "range 0" [] (Ids.elements (Ids.range 0));
+  Alcotest.(check int) "fold counts" 4 (Ids.fold (fun _ n -> n + 1) (Ids.range 4) 0)
+
+let ids_tests =
+  ids_properties
+  @ [
+      Alcotest.test_case "Ids canonical across representations" `Quick test_ids_canonical;
+      Alcotest.test_case "Ids.range" `Quick test_ids_range;
+    ]
+
 let suite =
   [
     Alcotest.test_case "zero/ones basics" `Quick test_zero_ones;
@@ -200,5 +319,11 @@ let suite =
     Alcotest.test_case "complement_bit" `Quick test_complement_bit;
     Alcotest.test_case "compare order" `Quick test_compare_order;
     Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "resize" `Quick test_resize;
+    Alcotest.test_case "set_grow" `Quick test_set_grow;
+    Alcotest.test_case "top_bit" `Quick test_top_bit;
+    Alcotest.test_case "trim canonicalizes" `Quick test_trim;
+    Alcotest.test_case "fold_set" `Quick test_fold_set;
   ]
   @ properties
+  @ ids_tests

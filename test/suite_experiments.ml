@@ -7,7 +7,7 @@ let test_quick_suite () =
       if not table.Lb_experiments.Table.pass then
         Alcotest.failf "%s (%s) failed:@.%a" table.Lb_experiments.Table.id
           table.Lb_experiments.Table.title Lb_experiments.Table.pp table)
-    (Lb_experiments.Experiments.all ~quick:true)
+    (Lb_experiments.Experiments.all ~quick:true ())
 
 let test_registry_complete () =
   Alcotest.(check (list string)) "ids"

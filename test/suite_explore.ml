@@ -189,6 +189,80 @@ let test_exhaustive_cheater_found () =
        ~f:(fun run -> not (Explore.wakeup_ok ~n:2 run))
        ())
 
+(* ---- reduced exploration agrees with full exploration ---- *)
+
+(* The reduction contract: strictly fewer schedules, identical set of
+   distinct (results, wakeup verdict) outcomes. *)
+let outcome run ~n =
+  (List.sort compare run.Explore.results, Explore.wakeup_ok ~n run)
+
+let reduced_agrees ?(strict = true) name entry ~n ~coin_range =
+  let program_of, inits = entry.Corpus.make ~n in
+  let full = ref [] in
+  let reduced = ref [] in
+  let full_count =
+    Explore.iter ~n ~program_of ~inits ~coin_range
+      ~f:(fun run -> full := outcome run ~n :: !full)
+      ()
+  in
+  let stats =
+    Explore.iter_reduced ~n ~program_of ~inits ~coin_range
+      ~f:(fun run -> reduced := outcome run ~n :: !reduced)
+      ()
+  in
+  let distinct l = List.sort_uniq compare l in
+  Alcotest.(check int)
+    (name ^ ": stats.runs counts the callback") (List.length !reduced) stats.Explore.runs;
+  Alcotest.(check bool)
+    (name ^ ": same distinct outcomes") true
+    (distinct !full = distinct !reduced);
+  if strict then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: strictly fewer schedules (%d < %d)" name stats.Explore.runs
+         full_count)
+      true
+      (stats.Explore.runs < full_count)
+
+let test_reduced_corpus () =
+  reduced_agrees "naive n=2" Corpus.naive ~n:2 ~coin_range:[ 0 ];
+  reduced_agrees "naive n=3" Corpus.naive ~n:3 ~coin_range:[ 0 ];
+  reduced_agrees "post-collect n=2" Corpus.post_collect ~n:2 ~coin_range:[ 0 ];
+  reduced_agrees "post-collect n=3" Corpus.post_collect ~n:3 ~coin_range:[ 0 ];
+  reduced_agrees "move-collect n=2" Corpus.move_collect ~n:2 ~coin_range:[ 0 ];
+  reduced_agrees "tree-collect n=2" Corpus.tree_collect ~n:2 ~coin_range:[ 0 ];
+  reduced_agrees "two-counter n=2" Corpus.two_counter ~n:2 ~coin_range:[ 0; 1 ]
+
+let test_reduced_finds_cheater () =
+  (* The pruned schedule set still contains a witness of every distinct
+     verdict — the blind cheater's violation survives reduction. *)
+  let program_of, inits = Cheaters.blind ~n:2 in
+  Alcotest.(check bool) "violation survives reduction" false
+    (Explore.for_all_reduced ~n:2 ~program_of ~inits
+       ~f:(Explore.wakeup_ok ~n:2) ())
+
+let test_reduced_wakeup_verdicts () =
+  (* for_all_reduced gives the same verdict as for_all on the whole corpus
+     at n=2. *)
+  List.iter
+    (fun (name, entry) ->
+      let program_of, inits = entry.Corpus.make ~n:2 in
+      let coin_range = [ 0; 1 ] in
+      let expected =
+        Explore.for_all ~n:2 ~program_of ~inits ~coin_range
+          ~f:(Explore.wakeup_ok ~n:2) ()
+      in
+      let got =
+        Explore.for_all_reduced ~n:2 ~program_of ~inits ~coin_range
+          ~f:(Explore.wakeup_ok ~n:2) ()
+      in
+      Alcotest.(check bool) (name ^ ": reduced verdict = full verdict") expected got)
+    [
+      ("naive", Corpus.naive);
+      ("post-collect", Corpus.post_collect);
+      ("move-collect", Corpus.move_collect);
+      ("two-counter", Corpus.two_counter);
+    ]
+
 (* ---- exhaustive CAS linearizability ---- *)
 
 let test_exhaustive_cas () =
@@ -252,5 +326,8 @@ let suite =
     Alcotest.test_case "exhaustive wakeup: tree-collect" `Slow test_exhaustive_tree_collect;
     Alcotest.test_case "exhaustive wakeup: two-counter" `Slow test_exhaustive_two_counter;
     Alcotest.test_case "exhaustive cheater violation" `Quick test_exhaustive_cheater_found;
+    Alcotest.test_case "reduced = full outcomes (corpus)" `Slow test_reduced_corpus;
+    Alcotest.test_case "reduced finds cheater" `Quick test_reduced_finds_cheater;
+    Alcotest.test_case "reduced verdicts (corpus n=2)" `Slow test_reduced_wakeup_verdicts;
     Alcotest.test_case "exhaustive CAS linearizability" `Slow test_exhaustive_cas;
   ]

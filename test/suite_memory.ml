@@ -161,6 +161,28 @@ let test_largest_value_size () =
   ignore (Memory.apply m ~pid:0 (Op.Swap (0, Value.List [ Value.Int 1; Value.Int 2 ])));
   Alcotest.(check int) "size" 3 (Memory.largest_value_size m)
 
+let test_growth () =
+  (* The dense register array and the per-pid counter array both grow on
+     demand; registers at or above the dense limit (2^20) spill into the
+     sparse table with identical semantics. *)
+  let m = Memory.create ~default:(Value.Int 0) () in
+  let sparse_reg = 1 lsl 21 in
+  List.iter
+    (fun r ->
+      ignore (Memory.apply m ~pid:(r mod 5000) (Op.Ll r));
+      ignore (Memory.apply m ~pid:(r mod 5000) (Op.Sc (r, Value.Int r))))
+    [ 0; 63; 64; 4095; 4096; 250_000; sparse_reg ];
+  Alcotest.check value "dense high register" (Value.Int 250_000) (Memory.peek m 250_000);
+  Alcotest.check value "sparse register" (Value.Int sparse_reg) (Memory.peek m sparse_reg);
+  Alcotest.check response "sparse register validates" (Op.Flagged (false, Value.Int sparse_reg))
+    (Memory.apply m ~pid:1 (Op.Validate sparse_reg));
+  Alcotest.(check int) "high pid counted" 2 (Memory.ops_of m ~pid:(sparse_reg mod 5000));
+  Alcotest.(check int) "untouched pid" 0 (Memory.ops_of m ~pid:4999);
+  Alcotest.(check int) "total" 15 (Memory.total_ops m);
+  Alcotest.(check (list int)) "touched spans both stores"
+    [ 0; 63; 64; 4095; 4096; 250_000; sparse_reg ]
+    (Memory.touched m)
+
 (* Layout *)
 
 let test_layout () =
@@ -319,6 +341,7 @@ let suite =
     Alcotest.test_case "negative register rejected" `Quick test_negative_register;
     Alcotest.test_case "self-move rejected" `Quick test_self_move;
     Alcotest.test_case "largest value size" `Quick test_largest_value_size;
+    Alcotest.test_case "store growth and sparse spill" `Quick test_growth;
     Alcotest.test_case "layout allocator" `Quick test_layout;
     Alcotest.test_case "register module" `Quick test_register;
     prop_sc_semantics;
