@@ -1,10 +1,16 @@
 (* Benchmark regression gate.
 
    Compares the latest BENCH_simulator.json snapshot (written by
-   `bench/main.exe time`) against the committed baseline
-   bench/BASELINE_simulator.json and fails when any benchmark's ns_per_run
-   regressed by more than the tolerance (default 30%, matching the noise
-   floor of shared CI runners).
+   `bench/main.exe time` or `bench/main.exe service`) against the committed
+   baseline bench/BASELINE_simulator.json and fails when any benchmark's
+   ns_per_run regressed by more than the tolerance (default 30%, matching
+   the noise floor of shared CI runners).
+
+   The comparison policy lives in Bench_gate (lib/observe), where the test
+   suite pins it: only regressions fail; benchmarks missing from the
+   current run, and newly added benchmarks with no baseline entry yet,
+   warn — adding a benchmark must never break the gate before its baseline
+   is committed.
 
    Usage:
      bench/check.exe [--baseline FILE] [--dir DIR] [--tolerance PCT]
@@ -30,21 +36,6 @@ let rec parse_args baseline dir tolerance = function
     Format.printf "unknown argument %S@." arg;
     exit 2
 
-(* {"benchmarks": [{"name": ..., "ns_per_run": ...}, ...]} -> assoc list. *)
-let benchmarks_of_payload payload =
-  match Json.member "benchmarks" payload with
-  | Some (Json.Arr entries) ->
-    List.filter_map
-      (fun entry ->
-        match (Json.member "name" entry, Json.member "ns_per_run" entry) with
-        | Some name, Some ns -> (
-          match (Json.to_str_opt name, Json.to_float_opt ns) with
-          | Some name, Some ns -> Some (name, ns)
-          | _ -> None)
-        | _ -> None)
-      entries
-  | _ -> []
-
 let () =
   let baseline_path, dir, tolerance =
     parse_args default_baseline "." 0.30 (List.tl (Array.to_list Sys.argv))
@@ -59,7 +50,7 @@ let () =
     let raw = really_input_string ic len in
     close_in ic;
     match Json.parse raw with
-    | Ok json -> benchmarks_of_payload json
+    | Ok json -> Bench_gate.benchmarks_of_payload json
     | Error msg ->
       Format.printf "cannot parse %s: %s@." baseline_path msg;
       exit 2
@@ -69,7 +60,7 @@ let () =
     | Ok (_ :: _ as snapshots) -> (
       let latest = List.nth snapshots (List.length snapshots - 1) in
       match Json.member "data" latest with
-      | Some payload -> benchmarks_of_payload payload
+      | Some payload -> Bench_gate.benchmarks_of_payload payload
       | None ->
         Format.printf "latest simulator snapshot has no data field@.";
         exit 2)
@@ -81,27 +72,16 @@ let () =
       exit 2
   in
   Format.printf "== ns_per_run vs %s (tolerance +%.0f%%)@." baseline_path (tolerance *. 100.0);
-  let regressions = ref [] and missing = ref [] in
-  List.iter
-    (fun (name, base) ->
-      match List.assoc_opt name current with
-      | None -> missing := name :: !missing
-      | Some ns ->
-        let ratio = if base > 0.0 then ns /. base else 1.0 in
-        let regressed = ratio > 1.0 +. tolerance in
-        if regressed then regressions := (name, base, ns, ratio) :: !regressions;
-        Format.printf "%-45s %12.0f -> %12.0f  (%+6.1f%%)%s@." name base ns
-          ((ratio -. 1.0) *. 100.0)
-          (if regressed then "  REGRESSION" else ""))
-    baseline;
-  List.iter
-    (fun name -> Format.printf "%-45s missing from the current run@." name)
-    (List.rev !missing);
-  match !regressions with
-  | [] ->
-    Format.printf "benchmark gate OK (%d benchmarks within tolerance)@." (List.length baseline);
+  let verdict = Bench_gate.compare ~tolerance ~baseline ~current in
+  Format.printf "%a" Bench_gate.pp verdict;
+  if Bench_gate.ok verdict then begin
+    Format.printf "benchmark gate OK (%d benchmarks within tolerance)@."
+      (List.length verdict.Bench_gate.compared);
     exit 0
-  | regs ->
-    Format.printf "benchmark gate FAILED: %d regression(s) beyond +%.0f%%@." (List.length regs)
-      (tolerance *. 100.0);
+  end
+  else begin
+    let regressions = List.filter (fun c -> c.Bench_gate.regressed) verdict.Bench_gate.compared in
+    Format.printf "benchmark gate FAILED: %d regression(s) beyond +%.0f%%@."
+      (List.length regressions) (tolerance *. 100.0);
     exit 1
+  end

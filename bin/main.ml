@@ -7,7 +7,9 @@
      corpus            list the wakeup algorithm corpus
      trace NAME -n N   print the round-by-round (All, A)-run of an algorithm
      sweep CONSTR      complexity sweep of a universal construction
-     faults TARGET     certify wait-freedom under an injected fault plan *)
+     faults TARGET     certify wait-freedom under an injected fault plan
+     serve             run the batching request server on a Unix socket
+     request [SPECS..] send requests (or control ops) to a running server *)
 
 open Lowerbound
 open Cmdliner
@@ -496,6 +498,237 @@ let explore_cmd =
           revisited schedules first.")
     Term.(const run $ logging $ name_arg $ n_arg $ max_runs_arg $ reduced_flag)
 
+(* ---- serve / request: the experiment service layer (lib/service) ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "lowerbound.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Append-only JSONL result-cache journal: reloaded at startup (corrupt lines \
+             skipped), appended on every store — identical requests are then served without \
+             recomputation across server restarts.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "capacity" ] ~docv:"K" ~doc:"In-memory LRU capacity (entries).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request computation deadline (enforced via SIGALRM when the executor is \
+             sequential, i.e. $(b,--jobs 1); advisory at higher job counts).")
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ] ~docv:"K"
+          ~doc:"Stop after answering $(docv) requests (0 = serve until shutdown).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Stream the structured event trace of every computation the server performs to \
+             $(docv) as JSONL.")
+  in
+  let quiet_flag =
+    Arg.(value & flag & info [ "silent" ] ~doc:"Suppress per-batch progress lines.")
+  in
+  let run () socket cache capacity timeout max_requests trace quiet jobs =
+    let jobs = resolve_jobs jobs in
+    let cache = Lb_service.Cache.create ~capacity ?path:cache () in
+    if Lb_service.Cache.loaded cache > 0 || Lb_service.Cache.corrupt cache > 0 then
+      Format.printf "(cache: reloaded %d entries, skipped %d corrupt lines)@."
+        (Lb_service.Cache.loaded cache) (Lb_service.Cache.corrupt cache);
+    let executor =
+      Lb_service.Executor.create ~jobs ?timeout_s:timeout ~cache
+        ~compute:Lb_service.Catalog.compute ()
+    in
+    let max_requests = if max_requests > 0 then Some max_requests else None in
+    let log = if quiet then fun _ -> () else fun line -> Format.printf "%s@." line in
+    let serve () =
+      Lb_service.Server.serve ~socket ~executor ?max_requests ~log ()
+    in
+    let stats =
+      match trace with
+      | None -> serve ()
+      | Some path ->
+        let oc = open_out path in
+        let tracer = Tracer.on_channel oc in
+        let stats = Tracer.with_tracer tracer serve in
+        Tracer.flush tracer;
+        close_out oc;
+        stats
+    in
+    Format.printf "served %d request(s) in %d batch(es) over %d connection(s)@."
+      stats.Lb_service.Server.served stats.Lb_service.Server.batches
+      stats.Lb_service.Server.clients;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the experiment service: a batching line-JSON request server over a Unix-domain \
+          socket with a content-keyed result cache — concurrently queued requests coalesce \
+          into one batch, identical in-flight requests compute once, and cached requests \
+          never recompute.")
+    Term.(
+      const run $ logging $ socket_arg $ cache_arg $ capacity_arg $ timeout_arg
+      $ max_requests_arg $ trace_arg $ quiet_flag $ jobs_arg)
+
+let request_cmd =
+  let specs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Experiment ids to request (e1 .. e14), each served from the cache when \
+             possible.")
+  in
+  let quick_flag =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Request the reduced-size sweeps.")
+  in
+  let certify_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certify" ] ~docv:"TARGET"
+          ~doc:"Also request one certification run of $(docv) (see `lowerbound faults`).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string "crash-stop"
+      & info [ "plan" ] ~docv:"PLAN" ~doc:"Fault plan for $(b,--certify).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "ops" ] ~docv:"K" ~doc:"Operations per process for $(b,--certify).")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Fetch the server's metrics registry snapshot (the service.* family included).")
+  in
+  let ping_flag = Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a ping.") in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down gracefully.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 600.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Client-side response deadline.")
+  in
+  let raw_flag =
+    Arg.(
+      value & flag
+      & info [ "raw" ] ~doc:"Print raw response JSON lines instead of the summary rendering.")
+  in
+  let run () socket specs quick certify plan ops n seed metrics ping shutdown timeout raw
+      jobs =
+    let requests =
+      List.map
+        (fun id -> Lb_service.Request.with_jobs (Lb_service.Request.experiment ~quick id) jobs)
+        specs
+      @
+      match certify with
+      | None -> []
+      | Some target ->
+        [
+          Lb_service.Request.with_jobs
+            (Lb_service.Request.certify ~n ~ops ~seed ~target ~plan ())
+            jobs;
+        ]
+    in
+    let control =
+      (if ping then [ Json.Obj [ ("op", Json.Str "ping") ] ] else [])
+      @ (if metrics then [ Json.Obj [ ("op", Json.Str "metrics") ] ] else [])
+      @ if shutdown then [ Json.Obj [ ("op", Json.Str "shutdown") ] ] else []
+    in
+    let lines = List.map Lb_service.Request.to_json requests @ control in
+    if lines = [] then begin
+      Format.printf "nothing to send (give experiment ids, --certify, --metrics, --ping or \
+                     --shutdown)@.";
+      2
+    end
+    else
+      match Lb_service.Client.call ~socket ~timeout_s:timeout lines with
+      | Error msg ->
+        Format.printf "request failed: %s@." msg;
+        1
+      | Ok responses ->
+        let ok = ref true in
+        List.iter
+          (fun response ->
+            if raw then Format.printf "%s@." (Json.to_string response)
+            else begin
+              let str name =
+                Option.value ~default:"?"
+                  (Option.bind (Json.member name response) Json.to_str_opt)
+              in
+              let flag name =
+                Option.value ~default:false
+                  (Option.bind (Json.member name response) Json.to_bool_opt)
+              in
+              match str "status" with
+              | "ok" when Json.member "op" response <> None -> (
+                match Json.member "data" response with
+                | Some data -> Format.printf "%s@." (Json.to_string ~pretty:true data)
+                | None -> Format.printf "ok: %s@." (str "op"))
+              | "ok" ->
+                let served =
+                  if flag "cached" then "cache hit"
+                  else if flag "deduped" then "deduped in-flight"
+                  else "computed"
+                in
+                let elapsed =
+                  Option.value ~default:0.0
+                    (Option.bind (Json.member "elapsed_s" response) Json.to_float_opt)
+                in
+                Format.printf "ok (%s, %.3fs, key %s)@." served elapsed (str "key");
+                (match Json.member "data" response with
+                | Some data ->
+                  Format.printf "%s@." (Json.to_string ~pretty:true data);
+                  (match Option.bind (Json.member "pass" data) Json.to_bool_opt with
+                  | Some false -> ok := false
+                  | _ -> ())
+                | None -> ())
+              | "timeout" ->
+                ok := false;
+                Format.printf "TIMEOUT (key %s)@." (str "key")
+              | _ ->
+                ok := false;
+                Format.printf "ERROR: %s@." (str "error")
+            end)
+          responses;
+        if !ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send a batch of requests to a running `lowerbound serve` over its Unix socket and \
+          print the responses (exit 1 on any error, timeout or failing table).")
+    Term.(
+      const run $ logging $ socket_arg $ specs_arg $ quick_flag $ certify_arg $ plan_arg
+      $ ops_arg $ n_arg $ seed_arg $ metrics_flag $ ping_flag $ shutdown_flag $ timeout_arg
+      $ raw_flag $ jobs_arg)
+
 let main_cmd =
   let doc =
     "Executable reproduction of Jayanti's PODC 1998 \\(Omega\\)(log n) lower bound for \
@@ -505,7 +738,7 @@ let main_cmd =
     (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
     [
       exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
-      upsets_cmd; faults_cmd;
+      upsets_cmd; faults_cmd; serve_cmd; request_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

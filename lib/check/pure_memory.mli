@@ -10,13 +10,18 @@ open Lb_memory
 type t
 
 val create : ?default:Value.t -> inits:(int * Value.t) list -> unit -> t
+(** A memory whose registers all read [default] (unit when omitted) except
+    the listed initial bindings. *)
 
 val apply : t -> pid:int -> Op.invocation -> Op.response * t
 (** Raises [Invalid_argument] on negative registers or self-moves, like the
     mutable memory. *)
 
 val peek : t -> int -> Value.t
+(** Current value of a register, without counting as a shared access. *)
+
 val pset : t -> int -> Ids.t
+(** Current Pset of a register. *)
 
 val canonical : t -> (int * (Value.t * Ids.t)) list
 (** The bindings that differ from the default state, in ascending register

@@ -28,7 +28,14 @@
       fault injection (crashes, recovery, weak LL/SC, delays) and the
       wait-freedom-under-adversity certification driver;
     - {!Problem}, {!Reductions}, {!Direct_algorithms}, {!Randomized},
-      {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus. *)
+      {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus.
+
+    Two libraries sit {e above} this facade in the dependency DAG and so
+    cannot be re-exported from it: [Lb_experiments] (E1–E14 as
+    table-producing thunks) and [Lb_service] (the batched request server
+    with a content-keyed result cache behind [lowerbound serve] /
+    [lowerbound request]).  Executables that need them depend on them
+    directly.  The full layer map is docs/ARCHITECTURE.md. *)
 
 (* Shared-memory model *)
 module Value = Lb_memory.Value
@@ -95,6 +102,7 @@ module Trace_file = Lb_observe.Trace_file
 module Trace_diff = Lb_observe.Trace_diff
 module Metrics = Lb_observe.Metrics
 module Bench_out = Lb_observe.Bench_out
+module Bench_gate = Lb_observe.Bench_gate
 
 (* Parallel execution *)
 module Pool = Lb_exec.Pool

@@ -1,0 +1,73 @@
+type comparison = {
+  name : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;
+  regressed : bool;
+}
+
+type verdict = {
+  compared : comparison list;
+  missing : string list;
+  added : string list;
+}
+
+let compare ~tolerance ~baseline ~current =
+  let compared, missing =
+    List.fold_left
+      (fun (compared, missing) (name, base) ->
+        match List.assoc_opt name current with
+        | None -> (compared, name :: missing)
+        | Some ns ->
+          let ratio = if base > 0.0 then ns /. base else 1.0 in
+          let c =
+            {
+              name;
+              baseline_ns = base;
+              current_ns = ns;
+              ratio;
+              regressed = ratio > 1.0 +. tolerance;
+            }
+          in
+          (c :: compared, missing))
+      ([], []) baseline
+  in
+  let added =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name baseline then None else Some name)
+      current
+  in
+  { compared = List.rev compared; missing = List.rev missing; added }
+
+let ok verdict = List.for_all (fun c -> not c.regressed) verdict.compared
+
+let benchmarks_of_payload payload =
+  match Json.member "benchmarks" payload with
+  | Some (Json.Arr entries) ->
+    List.filter_map
+      (fun entry ->
+        match (Json.member "name" entry, Json.member "ns_per_run" entry) with
+        | Some name, Some ns -> (
+          match (Json.to_str_opt name, Json.to_float_opt ns) with
+          | Some name, Some ns -> Some (name, ns)
+          | _ -> None)
+        | _ -> None)
+      entries
+  | _ -> []
+
+let pp ppf verdict =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-45s %12.0f -> %12.0f  (%+6.1f%%)%s@." c.name c.baseline_ns
+        c.current_ns
+        ((c.ratio -. 1.0) *. 100.0)
+        (if c.regressed then "  REGRESSION" else ""))
+    verdict.compared;
+  List.iter
+    (fun name -> Format.fprintf ppf "%-45s missing from the current run (warning)@." name)
+    verdict.missing;
+  List.iter
+    (fun name ->
+      Format.fprintf ppf "%-45s new benchmark, no baseline yet (warning)@." name)
+    verdict.added

@@ -1,0 +1,74 @@
+open Lb_observe
+
+let call ~socket ?(timeout_s = 60.0) lines =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+      finally ();
+      Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+    | () -> (
+      let payload =
+        String.concat "" (List.map (fun json -> Json.to_string json ^ "\n") lines)
+      in
+      match Unix.write_substring fd payload 0 (String.length payload) with
+      | exception Unix.Unix_error (e, _, _) ->
+        finally ();
+        Error (Unix.error_message e)
+      | _ ->
+        let deadline = Unix.gettimeofday () +. timeout_s in
+        let wanted = List.length lines in
+        let buf = Buffer.create 4096 in
+        let received = ref [] and failed = ref None in
+        let count_newlines () =
+          let n = ref 0 in
+          String.iter (fun c -> if c = '\n' then incr n) (Buffer.contents buf);
+          !n
+        in
+        while
+          !failed = None
+          && count_newlines () < wanted
+        do
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then
+            failed := Some (Printf.sprintf "timed out after %.1fs" timeout_s)
+          else
+            match Unix.select [ fd ] [] [] remaining with
+            | [], _, _ -> failed := Some (Printf.sprintf "timed out after %.1fs" timeout_s)
+            | _ -> (
+              let bytes = Bytes.create 65536 in
+              match Unix.read fd bytes 0 (Bytes.length bytes) with
+              | 0 -> failed := Some "server closed the connection early"
+              | n -> Buffer.add_subbytes buf bytes 0 n
+              | exception Unix.Unix_error (e, _, _) ->
+                failed := Some (Unix.error_message e))
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        finally ();
+        (match !failed with
+        | Some msg -> Error msg
+        | None ->
+          let parsed =
+            String.split_on_char '\n' (Buffer.contents buf)
+            |> List.filter (fun l -> String.trim l <> "")
+            |> List.map Json.parse
+          in
+          (try
+             received := List.map (function Ok j -> j | Error e -> failwith e) parsed;
+             Ok (List.filteri (fun i _ -> i < wanted) !received)
+           with Failure msg -> Error ("bad response line: " ^ msg)))))
+
+let wait_ready ~socket ?(attempts = 100) ?(interval_s = 0.05) () =
+  let ping = Json.Obj [ ("op", Json.Str "ping") ] in
+  let rec go k =
+    if k = 0 then false
+    else
+      match call ~socket ~timeout_s:1.0 [ ping ] with
+      | Ok _ -> true
+      | Error _ ->
+        Unix.sleepf interval_s;
+        go (k - 1)
+  in
+  go attempts

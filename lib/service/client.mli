@@ -1,0 +1,19 @@
+(** The line-JSON client side of the service protocol.
+
+    [call] opens one connection, writes every given JSON value as its own
+    line, and reads exactly one response line per line sent — the server
+    answers in order.  Reads are multiplexed through [Unix.select] with a
+    deadline, so a wedged server yields [Error] rather than a hang. *)
+
+open Lb_observe
+
+val call :
+  socket:string -> ?timeout_s:float -> Json.t list -> (Json.t list, string) result
+(** Send the lines, await as many responses ([timeout_s] defaults to 60
+    seconds of total wall-clock).  [Error] on connection failure, timeout,
+    early disconnect or an unparseable response line. *)
+
+val wait_ready : socket:string -> ?attempts:int -> ?interval_s:float -> unit -> bool
+(** Poll until a [ping] round-trips (true) or [attempts] (default 100)
+    spaced [interval_s] (default 0.05 s) are exhausted (false) — for
+    scripts that just started a server in the background. *)

@@ -18,4 +18,5 @@ let () =
       ("observe", Suite_observe.suite);
       ("exec", Suite_exec.suite);
       ("experiments", Suite_experiments.suite);
+      ("service", Suite_service.suite);
     ]

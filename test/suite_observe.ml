@@ -387,6 +387,65 @@ let test_bench_out_corrupt_starts_fresh () =
       | Ok l -> Alcotest.failf "expected 1 snapshot, got %d" (List.length l)
       | Error e -> Alcotest.failf "read: %s" e)
 
+(* ---- the benchmark regression gate ---- *)
+
+let test_bench_gate_regression_fails () =
+  let baseline = [ ("fast", 100.0); ("slow", 100.0) ] in
+  let current = [ ("fast", 110.0); ("slow", 200.0) ] in
+  let verdict = Bench_gate.compare ~tolerance:0.30 ~baseline ~current in
+  Alcotest.(check bool) "regression fails the gate" false (Bench_gate.ok verdict);
+  (match verdict.Bench_gate.compared with
+  | [ fast; slow ] ->
+    Alcotest.(check bool) "within tolerance passes" false fast.Bench_gate.regressed;
+    Alcotest.(check bool) "2x is a regression" true slow.Bench_gate.regressed;
+    Alcotest.(check (float 1e-9)) "ratio" 2.0 slow.Bench_gate.ratio
+  | _ -> Alcotest.fail "expected two comparisons");
+  (* Speedups never fail, whatever the magnitude. *)
+  let verdict = Bench_gate.compare ~tolerance:0.30 ~baseline ~current:[ ("fast", 1.0); ("slow", 1.0) ] in
+  Alcotest.(check bool) "speedup passes" true (Bench_gate.ok verdict)
+
+let test_bench_gate_added_benchmark_warns () =
+  (* The satellite fix: a current benchmark with no baseline entry yet (a
+     newly added one) must warn, not fail — otherwise adding a benchmark
+     breaks CI until its baseline is committed. *)
+  let baseline = [ ("old", 100.0) ] in
+  let current = [ ("old", 100.0); ("service e5 cold request", 5.0e9) ] in
+  let verdict = Bench_gate.compare ~tolerance:0.30 ~baseline ~current in
+  Alcotest.(check bool) "new benchmark cannot fail the gate" true (Bench_gate.ok verdict);
+  Alcotest.(check (list string)) "but is reported" [ "service e5 cold request" ]
+    verdict.Bench_gate.added;
+  let report = Format.asprintf "%a" Bench_gate.pp verdict in
+  Alcotest.(check bool) "as a warning" true (Astring_contains.contains report "warning")
+
+let test_bench_gate_missing_benchmark_warns () =
+  let baseline = [ ("kept", 100.0); ("renamed", 100.0) ] in
+  let current = [ ("kept", 100.0) ] in
+  let verdict = Bench_gate.compare ~tolerance:0.30 ~baseline ~current in
+  Alcotest.(check bool) "missing benchmark cannot fail the gate" true (Bench_gate.ok verdict);
+  Alcotest.(check (list string)) "but is reported" [ "renamed" ] verdict.Bench_gate.missing
+
+let test_bench_gate_payload_extraction () =
+  let payload =
+    Json.Obj
+      [
+        ( "benchmarks",
+          Json.Arr
+            [
+              Json.Obj [ ("name", Json.Str "a"); ("ns_per_run", Json.Float 1.5) ];
+              Json.Obj [ ("name", Json.Str "b"); ("ns_per_run", Json.Int 2) ];
+              Json.Obj [ ("name", Json.Str "no-ns") ];
+              Json.Str "not an object";
+            ] );
+      ]
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "ill-shaped entries skipped"
+    [ ("a", 1.5); ("b", 2.0) ]
+    (Bench_gate.benchmarks_of_payload payload);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "payload without benchmarks" []
+    (Bench_gate.benchmarks_of_payload Json.Null)
+
 let suite =
   [
     Alcotest.test_case "json: round-trips" `Quick test_json_roundtrip_cases;
@@ -408,4 +467,12 @@ let suite =
     Alcotest.test_case "bench out: append/read trajectory" `Quick test_bench_out_append_read;
     Alcotest.test_case "bench out: corrupt file starts fresh" `Quick
       test_bench_out_corrupt_starts_fresh;
+    Alcotest.test_case "bench gate: only regressions fail" `Quick
+      test_bench_gate_regression_fails;
+    Alcotest.test_case "bench gate: new benchmark warns, not fails" `Quick
+      test_bench_gate_added_benchmark_warns;
+    Alcotest.test_case "bench gate: missing benchmark warns, not fails" `Quick
+      test_bench_gate_missing_benchmark_warns;
+    Alcotest.test_case "bench gate: payload extraction" `Quick
+      test_bench_gate_payload_extraction;
   ]

@@ -1,0 +1,491 @@
+(* The experiment service layer (lib/service): request content hashing,
+   the LRU + JSONL result cache, the batching executor (cache hits,
+   in-flight dedup, error isolation, timeouts) and the Unix-socket server
+   under concurrent clients.
+
+   The load-bearing properties:
+   - the content hash is a function of the computation, not its encoding —
+     invariant under JSON field reordering and under the jobs knob;
+   - a cache round-trip (store -> journal -> reload -> serve) yields the
+     byte-identical payload a fresh computation produces;
+   - a batch computes each distinct uncached key exactly once, whatever
+     mix of duplicates and cache hits surrounds it. *)
+
+open Lb_service
+module Json = Lb_observe.Json
+module Metrics = Lb_observe.Metrics
+
+let prop ?(count = 200) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ---- generators ---- *)
+
+let gen_request =
+  QCheck.Gen.(
+    let* jobs = 1 -- 4 in
+    let* spec =
+      oneof
+        [
+          (let* id = oneofl [ "e1"; "e5"; "e7"; "e14"; "nonsense" ] in
+           let* quick = bool in
+           return (Request.experiment ~quick id));
+          (let* target = oneofl [ "direct"; "adt-tree"; "naive-collect" ] in
+           let* plan = oneofl [ "crash-stop"; "spurious-sc"; "chaos" ] in
+           let* n = 2 -- 16 in
+           let* ops = 1 -- 3 in
+           let* seed = 0 -- 99 in
+           return (Request.certify ~n ~ops ~seed ~target ~plan ()));
+        ]
+    in
+    return (Request.with_jobs spec jobs))
+
+let arb_request = QCheck.make ~print:Request.describe gen_request
+
+(* Small arbitrary JSON payloads for cache round-trips. *)
+let gen_payload =
+  QCheck.Gen.(
+    let* pass = bool in
+    let* n = 0 -- 1000 in
+    let* s = string_size ~gen:printable (0 -- 20) in
+    let* xs = list_size (0 -- 5) (0 -- 50) in
+    return
+      (Json.Obj
+         [
+           ("pass", Json.Bool pass);
+           ("n", Json.Int n);
+           ("title", Json.Str s);
+           ("rows", Json.Arr (List.map (fun x -> Json.Int x) xs));
+         ]))
+
+(* ---- request hashing ---- *)
+
+let t_roundtrip =
+  prop "of_json (to_json r) = r" arb_request (fun r ->
+      Request.of_json (Request.to_json r) = Ok r)
+
+let t_key_ignores_jobs =
+  prop "key invariant under jobs" arb_request (fun r ->
+      Request.key r = Request.key (Request.with_jobs r 7)
+      && Request.equal r (Request.with_jobs r 7))
+
+let t_key_ignores_field_order =
+  prop "key invariant under JSON field reordering (+ jobs)"
+    (QCheck.make
+       ~print:(fun (r, _) -> Request.describe r)
+       QCheck.Gen.(
+         let* r = gen_request in
+         let* fields =
+           match Request.to_json r with
+           | Json.Obj fields -> shuffle_l fields
+           | _ -> return []
+         in
+         return (r, fields)))
+    (fun (r, shuffled) ->
+      let shuffled =
+        (* Also perturb the jobs value, not just its position. *)
+        List.map
+          (function "jobs", _ -> ("jobs", Json.Int 5) | field -> field)
+          shuffled
+      in
+      match Request.of_json (Json.Obj shuffled) with
+      | Ok r' -> Request.key r' = Request.key r
+      | Error _ -> false)
+
+let t_distinct_requests_distinct_keys () =
+  let keys =
+    List.map Request.key
+      [
+        Request.experiment "e1";
+        Request.experiment ~quick:true "e1";
+        Request.experiment "e2";
+        Request.certify ~target:"direct" ~plan:"crash-stop" ();
+        Request.certify ~target:"direct" ~plan:"chaos" ();
+        Request.certify ~target:"direct" ~plan:"crash-stop" ~seed:2 ();
+      ]
+  in
+  Alcotest.(check int)
+    "six distinct computations, six distinct keys" 6
+    (List.length (List.sort_uniq compare keys))
+
+let t_of_json_defaults () =
+  match Json.parse {|{"kind":"certify","plan":"chaos","target":"direct"}|} with
+  | Error msg -> Alcotest.fail msg
+  | Ok json ->
+    Alcotest.(check bool)
+      "omitted fields take their defaults" true
+      (Request.of_json json = Ok (Request.certify ~target:"direct" ~plan:"chaos" ()))
+
+(* ---- cache ---- *)
+
+let payload_a = Json.Obj [ ("v", Json.Int 1) ]
+let payload_b = Json.Obj [ ("v", Json.Int 2) ]
+let payload_c = Json.Obj [ ("v", Json.Int 3) ]
+
+let t_cache_hit_miss () =
+  let cache = Cache.create ~capacity:4 () in
+  Alcotest.(check bool) "miss before store" true (Cache.find cache "k1" = None);
+  Cache.store cache ~key:"k1" ~request:Json.Null payload_a;
+  Alcotest.(check bool) "hit after store" true (Cache.find cache "k1" = Some payload_a);
+  Cache.store cache ~key:"k1" ~request:Json.Null payload_b;
+  Alcotest.(check bool) "store refreshes" true (Cache.find cache "k1" = Some payload_b);
+  Alcotest.(check int) "refresh does not grow" 1 (Cache.length cache)
+
+let t_cache_lru_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  Cache.store cache ~key:"a" ~request:Json.Null payload_a;
+  Cache.store cache ~key:"b" ~request:Json.Null payload_b;
+  ignore (Cache.find cache "a");
+  (* "b" is now least recently used; storing "c" must evict it. *)
+  Cache.store cache ~key:"c" ~request:Json.Null payload_c;
+  Alcotest.(check bool) "recently used survives" true (Cache.mem cache "a");
+  Alcotest.(check bool) "LRU evicted" false (Cache.mem cache "b");
+  Alcotest.(check bool) "new entry present" true (Cache.mem cache "c");
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions cache)
+
+let with_temp_file f =
+  let path = Filename.temp_file "lbsvc_cache" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let t_cache_journal_reload () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let cache = Cache.create ~capacity:8 ~path () in
+      Cache.store cache ~key:"k1" ~request:Json.Null payload_a;
+      Cache.store cache ~key:"k2" ~request:Json.Null payload_b;
+      Cache.store cache ~key:"k1" ~request:Json.Null payload_c;
+      Cache.close cache;
+      let reloaded = Cache.create ~capacity:8 ~path () in
+      Alcotest.(check int) "three journal lines replayed" 3 (Cache.loaded reloaded);
+      Alcotest.(check int) "no corruption" 0 (Cache.corrupt reloaded);
+      Alcotest.(check int) "two live keys" 2 (Cache.length reloaded);
+      Alcotest.(check bool) "last store of k1 wins" true
+        (Cache.find reloaded "k1" = Some payload_c);
+      Alcotest.(check bool) "k2 survives" true (Cache.find reloaded "k2" = Some payload_b);
+      Cache.close reloaded)
+
+let t_cache_corrupt_recovery () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc
+        ({|{"key":"good1","request":null,"response":{"v":1}}|} ^ "\n"
+        ^ "this is not json\n"
+        ^ {|{"no_key_field":true,"response":{"v":9}}|} ^ "\n"
+        ^ {|{"key":"good2","request":null,"response":{"v":2}}|} ^ "\n"
+        ^ {|{"key":"trunc","request":null,"resp|});
+      (* no trailing newline: a crash mid-append *)
+      close_out oc;
+      let cache = Cache.create ~capacity:8 ~path () in
+      Alcotest.(check int) "two good lines" 2 (Cache.loaded cache);
+      Alcotest.(check int) "three damaged lines skipped" 3 (Cache.corrupt cache);
+      Alcotest.(check bool) "good entries served" true
+        (Cache.find cache "good1" = Some payload_a && Cache.find cache "good2" = Some payload_b);
+      (* The survivor of a damaged journal must still accept stores. *)
+      Cache.store cache ~key:"k3" ~request:Json.Null payload_c;
+      Cache.close cache;
+      let reloaded = Cache.create ~capacity:8 ~path () in
+      Alcotest.(check bool) "append after damage round-trips" true
+        (Cache.find reloaded "k3" = Some payload_c);
+      Cache.close reloaded)
+
+let t_cache_roundtrip_byte_identical =
+  prop ~count:100 "journal round-trip is byte-identical"
+    (QCheck.make ~print:Json.to_string gen_payload)
+    (fun payload ->
+      with_temp_file (fun path ->
+          Sys.remove path;
+          let cache = Cache.create ~path () in
+          Cache.store cache ~key:"k" ~request:Json.Null payload;
+          Cache.close cache;
+          let reloaded = Cache.create ~path () in
+          let found = Cache.find reloaded "k" in
+          Cache.close reloaded;
+          match found with
+          | Some payload' -> Json.to_string payload' = Json.to_string payload
+          | None -> false))
+
+(* ---- executor ---- *)
+
+(* A deterministic toy computation that counts its invocations. *)
+let counting_compute calls ~jobs:_ (r : Request.t) =
+  incr calls;
+  Ok (Json.Obj [ ("echo", Json.Str (Request.describe r)) ])
+
+let r1 = Request.experiment "e1"
+let r2 = Request.experiment "e2"
+
+let t_executor_dedup_and_cache () =
+  let calls = ref 0 in
+  let registry = Metrics.create () in
+  Metrics.with_registry registry (fun () ->
+      let cache = Cache.create () in
+      let executor = Executor.create ~cache ~compute:(counting_compute calls) () in
+      let responses = Executor.run_batch executor [ r1; r1; r2 ] in
+      Alcotest.(check int) "three responses" 3 (List.length responses);
+      Alcotest.(check int) "two computations for three requests" 2 !calls;
+      (match responses with
+      | [ a; b; c ] ->
+        Alcotest.(check bool) "first r1 computed" false (a.Executor.cached || a.Executor.deduped);
+        Alcotest.(check bool) "second r1 deduped in flight" true b.Executor.deduped;
+        Alcotest.(check bool) "r2 computed" false (c.Executor.cached || c.Executor.deduped);
+        Alcotest.(check bool) "dup payload identical" true (a.Executor.outcome = b.Executor.outcome)
+      | _ -> Alcotest.fail "wrong arity");
+      (* Second batch: everything cached, no further computation. *)
+      let responses = Executor.run_batch executor [ r1; r2 ] in
+      Alcotest.(check int) "no recomputation" 2 !calls;
+      Alcotest.(check bool) "both served from cache" true
+        (List.for_all (fun r -> r.Executor.cached) responses);
+      Alcotest.(check int) "hits" 2 (Metrics.counter_value registry "service.hits");
+      Alcotest.(check int) "misses" 2 (Metrics.counter_value registry "service.misses");
+      Alcotest.(check int) "dedups" 1 (Metrics.counter_value registry "service.dedup_inflight");
+      Alcotest.(check int) "requests" 5 (Metrics.counter_value registry "service.requests"))
+
+let t_executor_error_isolation () =
+  let compute ~jobs:_ (r : Request.t) =
+    match r.Request.spec with
+    | Request.Experiment { id = "e1"; _ } -> failwith "boom"
+    | _ -> Ok Json.Null
+  in
+  let registry = Metrics.create () in
+  Metrics.with_registry registry (fun () ->
+      let cache = Cache.create () in
+      let executor = Executor.create ~cache ~compute () in
+      match Executor.run_batch executor [ r1; r2 ] with
+      | [ a; b ] ->
+        (match a.Executor.outcome with
+        | Executor.Error msg ->
+          Alcotest.(check bool) "exception captured" true
+            (Astring_contains.contains msg "boom")
+        | _ -> Alcotest.fail "expected an error outcome");
+        Alcotest.(check bool) "sibling request unaffected" true
+          (b.Executor.outcome = Executor.Ok Json.Null);
+        Alcotest.(check int) "errors counted" 1 (Metrics.counter_value registry "service.errors");
+        Alcotest.(check bool) "failed result not cached" false
+          (Cache.mem cache a.Executor.key)
+      | _ -> Alcotest.fail "wrong arity")
+
+let t_executor_timeout () =
+  let compute ~jobs:_ (r : Request.t) =
+    match r.Request.spec with
+    | Request.Experiment { id = "e1"; _ } ->
+      (* Allocate so the SIGALRM poll point is reached promptly. *)
+      let rec spin acc = if Sys.opaque_identity !acc < 0 then Ok Json.Null else spin (ref (!acc + 1)) in
+      spin (ref 0)
+    | _ -> Ok Json.Null
+  in
+  let registry = Metrics.create () in
+  Metrics.with_registry registry (fun () ->
+      let cache = Cache.create () in
+      let executor = Executor.create ~timeout_s:0.2 ~cache ~compute () in
+      match Executor.run_batch executor [ r1; r2 ] with
+      | [ a; b ] ->
+        Alcotest.(check bool) "runaway request timed out" true
+          (a.Executor.outcome = Executor.Timeout);
+        Alcotest.(check bool) "sibling still served" true
+          (b.Executor.outcome = Executor.Ok Json.Null);
+        Alcotest.(check int) "timeout counted" 1
+          (Metrics.counter_value registry "service.timeouts")
+      | _ -> Alcotest.fail "wrong arity")
+
+(* Cache round-trip against the real catalog: save -> reload -> serve must
+   be byte-identical to a fresh computation (quick e1 keeps it fast). *)
+let t_catalog_roundtrip_byte_identical () =
+  let req = Request.experiment ~quick:true "e1" in
+  let fresh =
+    match Catalog.compute ~jobs:1 req with
+    | Ok payload -> Json.to_string payload
+    | Error msg -> Alcotest.fail msg
+  in
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let cache = Cache.create ~path () in
+      let executor = Executor.create ~cache ~compute:Catalog.compute () in
+      ignore (Executor.run_batch executor [ req ]);
+      Cache.close cache;
+      let cache = Cache.create ~path () in
+      let executor = Executor.create ~cache ~compute:Catalog.compute () in
+      match Executor.run_batch executor [ req ] with
+      | [ { Executor.cached = true; outcome = Executor.Ok payload; _ } ] ->
+        Alcotest.(check string) "reloaded-cache serve = fresh computation" fresh
+          (Json.to_string payload);
+        Cache.close cache
+      | _ -> Alcotest.fail "expected one cache hit after reload")
+
+let t_catalog_unknown () =
+  (match Catalog.compute ~jobs:1 (Request.experiment "e99") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown experiment must be an error");
+  match Catalog.compute ~jobs:1 (Request.certify ~target:"direct" ~plan:"no-such-plan" ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown plan must be an error"
+
+(* ---- the server under concurrent clients ---- *)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let send_line fd json =
+  let line = Json.to_string json ^ "\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line))
+
+let recv_lines fd wanted =
+  let buf = Buffer.create 1024 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let count () =
+    let n = ref 0 in
+    String.iter (fun c -> if c = '\n' then incr n) (Buffer.contents buf);
+    !n
+  in
+  while count () < wanted && Unix.gettimeofday () < deadline do
+    match Unix.select [ fd ] [] [] 1.0 with
+    | [], _, _ -> ()
+    | _ ->
+      let bytes = Bytes.create 65536 in
+      let n = Unix.read fd bytes 0 (Bytes.length bytes) in
+      if n = 0 then raise Exit else Buffer.add_subbytes buf bytes 0 n
+  done;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l -> match Json.parse l with Ok j -> j | Error e -> failwith e)
+
+let status_of json =
+  Option.value ~default:"?" (Option.bind (Json.member "status" json) Json.to_str_opt)
+
+(* Run a toy-compute server in its own domain (Unix.fork is off the table:
+   the exec suite has already spawned domains by the time this suite runs)
+   and hand the test body a live socket.  The server domain gets a fresh
+   metrics registry — the DLS default is one global registry, which the
+   parent's earlier tests have already written service.* counts into. *)
+let with_toy_server ?(capacity = 64) body =
+  let tmp = Filename.temp_file "lbsvc_srv" "" in
+  Sys.remove tmp;
+  let socket = tmp ^ ".sock" in
+  let server =
+    Domain.spawn (fun () ->
+        try
+          Metrics.with_registry (Metrics.create ()) (fun () ->
+              let cache = Cache.create ~capacity () in
+              let calls = ref 0 in
+              let executor = Executor.create ~cache ~compute:(counting_compute calls) () in
+              ignore (Server.serve ~socket ~executor ()))
+        with _ -> ())
+  in
+  let finally () =
+    (try ignore (Client.call ~socket ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ])
+     with _ -> ());
+    Domain.join server;
+    if Sys.file_exists socket then Sys.remove socket
+  in
+  Fun.protect ~finally (fun () ->
+      Alcotest.(check bool) "server came up" true (Client.wait_ready ~socket ());
+      body socket)
+
+(* Fire a randomized mix of requests from several simultaneously connected
+   clients (duplicates included, written before any responses are read, so
+   the server coalesces across clients), and check every response plus the
+   hit/miss/dedup accounting. *)
+let t_server_concurrent_fuzz () =
+  with_toy_server (fun socket ->
+        let pool =
+          [|
+            Request.experiment "e1"; Request.experiment "e2";
+            Request.certify ~target:"direct" ~plan:"crash-stop" ();
+          |]
+        in
+        let rand = Random.State.make [| 0xC0FFEE |] in
+        let total = ref 0 in
+        for _round = 1 to 3 do
+          (* Connect all clients first, write every request, then read: the
+             requests are genuinely in flight together. *)
+          let clients =
+            List.init 3 (fun _ ->
+                let fd = connect socket in
+                let reqs =
+                  List.init
+                    (1 + Random.State.int rand 4)
+                    (fun _ -> pool.(Random.State.int rand (Array.length pool)))
+                in
+                List.iter (fun r -> send_line fd (Request.to_json r)) reqs;
+                total := !total + List.length reqs;
+                (fd, reqs))
+          in
+          List.iter
+            (fun (fd, reqs) ->
+              let responses = recv_lines fd (List.length reqs) in
+              Alcotest.(check int) "one response per request" (List.length reqs)
+                (List.length responses);
+              List.iter2
+                (fun req response ->
+                  Alcotest.(check string) "status ok" "ok" (status_of response);
+                  let echoed =
+                    Option.bind (Json.member "data" response) (Json.member "echo")
+                  in
+                  Alcotest.(check bool) "payload echoes the request" true
+                    (echoed = Some (Json.Str (Request.describe req))))
+                reqs responses;
+              Unix.close fd)
+            clients
+        done;
+        (* The accounting must balance: every request was a hit, a fresh
+           computation, or an in-flight dedup; distinct keys bound misses. *)
+        match Client.call ~socket ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
+        | Error msg -> Alcotest.fail msg
+        | Ok [ response ] ->
+          let counter name =
+            match
+              Option.bind (Json.member "data" response) (fun d ->
+                  Option.bind (Json.member "counters" d) (fun c ->
+                      Option.bind (Json.member name c) Json.to_int_opt))
+            with
+            | Some v -> v
+            | None -> 0
+          in
+          let hits = counter "service.hits"
+          and misses = counter "service.misses"
+          and dedups = counter "service.dedup_inflight" in
+          Alcotest.(check int) "hits + misses + dedups = requests" !total
+            (hits + misses + dedups);
+          Alcotest.(check bool) "each distinct key computed at most once" true (misses <= 3);
+          Alcotest.(check int) "no errors" 0 (counter "service.errors")
+        | Ok _ -> Alcotest.fail "expected one metrics response")
+
+let t_server_rejects_garbage () =
+  with_toy_server (fun socket ->
+      let fd = connect socket in
+      ignore (Unix.write_substring fd "not json at all\n" 0 16);
+      send_line fd (Json.Obj [ ("kind", Json.Str "experiment") ]);
+      (* missing id *)
+      send_line fd (Request.to_json r1);
+      let responses = recv_lines fd 3 in
+      (match List.map status_of responses with
+      | [ "error"; "error"; "ok" ] -> ()
+      | other ->
+        Alcotest.fail
+          (Printf.sprintf "expected error;error;ok, got %s" (String.concat ";" other)));
+      Unix.close fd)
+
+let suite =
+  [
+    Alcotest.test_case "request: distinct requests, distinct keys" `Quick
+      t_distinct_requests_distinct_keys;
+    Alcotest.test_case "request: of_json fills defaults" `Quick t_of_json_defaults;
+    t_roundtrip;
+    t_key_ignores_jobs;
+    t_key_ignores_field_order;
+    Alcotest.test_case "cache: hit/miss/refresh" `Quick t_cache_hit_miss;
+    Alcotest.test_case "cache: LRU eviction" `Quick t_cache_lru_eviction;
+    Alcotest.test_case "cache: journal reload" `Quick t_cache_journal_reload;
+    Alcotest.test_case "cache: corrupt journal recovery" `Quick t_cache_corrupt_recovery;
+    t_cache_roundtrip_byte_identical;
+    Alcotest.test_case "executor: in-flight dedup + cache" `Quick t_executor_dedup_and_cache;
+    Alcotest.test_case "executor: one poisoned request cannot sink a batch" `Quick
+      t_executor_error_isolation;
+    Alcotest.test_case "executor: per-request timeout (sequential)" `Quick t_executor_timeout;
+    Alcotest.test_case "catalog: save -> reload -> serve = fresh computation" `Slow
+      t_catalog_roundtrip_byte_identical;
+    Alcotest.test_case "catalog: unknown ids are errors, not crashes" `Quick t_catalog_unknown;
+    Alcotest.test_case "server: concurrent client fuzz" `Slow t_server_concurrent_fuzz;
+    Alcotest.test_case "server: malformed lines get error responses" `Quick
+      t_server_rejects_garbage;
+  ]
