@@ -1,0 +1,31 @@
+# Convenience targets; everything here is also runnable as plain dune
+# commands (see README.md).
+
+.PHONY: all test bench coverage clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- quick
+
+# Coverage is opt-in: the instrumented build lives in its own workspace
+# (dune-workspace.coverage) so regular builds never pay for it, and the
+# target refuses to run unless COVERAGE=1 makes the intent explicit.
+# Requires `opam install bisect_ppx`.
+coverage:
+ifeq ($(COVERAGE),1)
+	find . -name 'bisect*.coverage' -delete
+	dune runtest --force --workspace dune-workspace.coverage \
+	  --instrument-with bisect_ppx
+	bisect-ppx-report summary
+else
+	@echo "coverage is gated: run 'COVERAGE=1 make coverage'"; exit 1
+endif
+
+clean:
+	dune clean
+	find . -name 'bisect*.coverage' -delete

@@ -120,11 +120,33 @@ let secretive_test n =
          let spec = Lb_secretive.Move_spec.of_list (List.init n (fun i -> (i, (i, i + 1)))) in
          ignore (Lb_secretive.Secretive.build spec)))
 
+let conformance_check_test n =
+  (* One fuzzed schedule of herlihy/fetch&inc plus its linearizability
+     check: the marginal cost of conformance checking per schedule. *)
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "conformance check herlihy n=%d" n)
+    (Bechamel.Staged.stage
+       (let ot =
+          match Schedule_fuzz.find_type "fetch-inc" with
+          | Some ot -> ot
+          | None -> failwith "fetch-inc object type missing"
+        in
+        let construction =
+          match Fault_targets.find "herlihy" with
+          | Some c -> c
+          | None -> failwith "herlihy construction missing"
+        in
+        fun () ->
+          ignore
+            (Schedule_fuzz.run_once ~construction ~ot ~plan:Fault_plan.none ~n ~ops:3
+               ~seed:7 ~max_states:200_000 ~scheduler:(Scheduler.random ~seed:7) ())))
+
 let timing () =
   let open Bechamel in
   let tests =
     [
       memory_ops_test;
+      conformance_check_test 4;
       secretive_test 256;
       secretive_test 4096;
       adversary_round_test 64;

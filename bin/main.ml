@@ -443,6 +443,116 @@ let faults_cmd =
           violation).")
     Term.(const run $ logging $ target_arg $ n_arg $ seed_arg $ plan_arg $ ops_arg $ jobs_arg)
 
+(* ---- conform ---- *)
+
+let conform_cmd =
+  let target_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Construction to check: $(b,adt-tree), $(b,herlihy), $(b,consensus-list), \
+             $(b,direct), or $(b,all).")
+  in
+  let cn_arg =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let type_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "type" ] ~docv:"TYPE"
+          ~doc:"Object type to fuzz (e.g. $(b,fetch-inc), $(b,queue)), or $(b,all).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan to fuzz under: a named plan, several joined with $(b,+), or $(b,all) \
+             to sweep every named plan.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 4 & info [ "ops" ] ~docv:"K" ~doc:"Operations per process.")
+  in
+  let schedules_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "schedules" ] ~docv:"S" ~doc:"Random schedules per (construction, type, plan) cell.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~docv:"B" ~doc:"Linearizability checker state budget per history.")
+  in
+  let mutate_flag =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Mutation-testing mode: inject each known construction bug (dropped SC validation, \
+             stale LL, lost SC/swap writes) and require the checker to kill every applicable \
+             mutant.")
+  in
+  let run () target n seed typ plan_name ops schedules max_states mutate =
+    let constructions =
+      if target = "all" then Conformance.constructions
+      else
+        match Conformance.find_construction target with
+        | Some c -> [ c ]
+        | None ->
+          failwith
+            (Printf.sprintf "unknown construction %S (adt-tree, herlihy, consensus-list, direct, all)"
+               target)
+    in
+    let report =
+      if mutate then
+        {
+          Conformance.cells = [];
+          mutants = Conformance.mutation_matrix ~constructions ~n ~ops ~schedules ~seed ~max_states ();
+        }
+      else begin
+        let types =
+          if typ = "all" then Schedule_fuzz.object_types
+          else
+            match Schedule_fuzz.find_type typ with
+            | Some t -> [ t ]
+            | None ->
+              failwith
+                (Printf.sprintf "unknown object type %S (one of: %s, or all)" typ
+                   (String.concat ", " Schedule_fuzz.type_names))
+        in
+        let plans =
+          if plan_name = "all" then Fault_plan.named ~n
+          else
+            match Fault_plan.of_name ~n plan_name with
+            | Some p -> [ (plan_name, p) ]
+            | None ->
+              failwith
+                (Printf.sprintf "unknown plan %S (one of: %s; join with '+', or 'all')" plan_name
+                   (String.concat ", " Fault_plan.plan_names))
+        in
+        {
+          Conformance.cells =
+            Conformance.fuzz_matrix ~constructions ~types ~plans ~n ~ops ~schedules ~seed
+              ~max_states ();
+          mutants = [];
+        }
+      end
+    in
+    Format.printf "%a@." Conformance.pp_report report;
+    if Conformance.ok report then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Conformance-check the universal constructions: fuzz seeded random schedules (and \
+          fault plans) through each construction and object type, check every history for \
+          linearizability, shrink any counterexample to a locally-minimal schedule (exit 3 on \
+          violation).  With $(b,--mutate), verify the checker catches seeded bugs.")
+    Term.(
+      const run $ logging $ target_arg $ cn_arg $ seed_arg $ type_arg $ plan_arg $ ops_arg
+      $ schedules_arg $ max_states_arg $ mutate_flag)
+
 (* ---- explore ---- *)
 
 let explore_cmd =
@@ -620,6 +730,23 @@ let request_cmd =
       value & opt int 1
       & info [ "ops" ] ~docv:"K" ~doc:"Operations per process for $(b,--certify).")
   in
+  let conform_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "conform" ] ~docv:"TARGET"
+          ~doc:"Also request one conformance fuzz cell of $(docv) (see `lowerbound conform`).")
+  in
+  let otype_arg =
+    Arg.(
+      value & opt string "fetch-inc"
+      & info [ "otype" ] ~docv:"TYPE" ~doc:"Object type for $(b,--conform).")
+  in
+  let schedules_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "schedules" ] ~docv:"S" ~doc:"Random schedules for $(b,--conform).")
+  in
   let metrics_flag =
     Arg.(
       value & flag
@@ -640,19 +767,28 @@ let request_cmd =
       value & flag
       & info [ "raw" ] ~doc:"Print raw response JSON lines instead of the summary rendering.")
   in
-  let run () socket specs quick certify plan ops n seed metrics ping shutdown timeout raw
-      jobs =
+  let run () socket specs quick certify conform otype schedules plan ops n seed metrics ping
+      shutdown timeout raw jobs =
     let requests =
       List.map
         (fun id -> Lb_service.Request.with_jobs (Lb_service.Request.experiment ~quick id) jobs)
         specs
+      @ (match certify with
+        | None -> []
+        | Some target ->
+          [
+            Lb_service.Request.with_jobs
+              (Lb_service.Request.certify ~n ~ops ~seed ~target ~plan ())
+              jobs;
+          ])
       @
-      match certify with
+      match conform with
       | None -> []
       | Some target ->
         [
           Lb_service.Request.with_jobs
-            (Lb_service.Request.certify ~n ~ops ~seed ~target ~plan ())
+            (Lb_service.Request.conform ~otype ~plan:"none" ~n:4 ~ops:4 ~schedules ~seed
+               ~target ())
             jobs;
         ]
     in
@@ -669,8 +805,8 @@ let request_cmd =
     end
     else
       match Lb_service.Client.call ~socket ~timeout_s:timeout lines with
-      | Error msg ->
-        Format.printf "request failed: %s@." msg;
+      | Error e ->
+        Format.printf "request failed: %s@." (Lb_service.Client.error_message e);
         1
       | Ok responses ->
         let ok = ref true in
@@ -725,9 +861,9 @@ let request_cmd =
          "Send a batch of requests to a running `lowerbound serve` over its Unix socket and \
           print the responses (exit 1 on any error, timeout or failing table).")
     Term.(
-      const run $ logging $ socket_arg $ specs_arg $ quick_flag $ certify_arg $ plan_arg
-      $ ops_arg $ n_arg $ seed_arg $ metrics_flag $ ping_flag $ shutdown_flag $ timeout_arg
-      $ raw_flag $ jobs_arg)
+      const run $ logging $ socket_arg $ specs_arg $ quick_flag $ certify_arg $ conform_arg
+      $ otype_arg $ schedules_arg $ plan_arg $ ops_arg $ n_arg $ seed_arg $ metrics_flag
+      $ ping_flag $ shutdown_flag $ timeout_arg $ raw_flag $ jobs_arg)
 
 let main_cmd =
   let doc =
@@ -738,7 +874,7 @@ let main_cmd =
     (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
     [
       exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
-      upsets_cmd; faults_cmd; serve_cmd; request_cmd;
+      upsets_cmd; faults_cmd; conform_cmd; serve_cmd; request_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

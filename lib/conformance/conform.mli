@@ -1,0 +1,81 @@
+(** Conformance campaign driver: fuzz matrices, mutation testing, reports.
+
+    The fuzz matrix crosses constructions × object types × fault plans into
+    {!Fuzz.check_cell} cells; the mutation matrix crosses constructions ×
+    {!Mutate.all} and demands that every applicable mutant be {e killed} —
+    some schedule's history must fail the {!Linearize} checker.  [ok] is the
+    gate the CLI turns into its exit code and CI asserts in the conformance
+    smoke step. *)
+
+open Lb_universal
+open Lb_faults
+
+val constructions : Iface.t list
+(** {!Lb_faults.Targets.all}: the universal constructions plus the direct
+    LL/SC fetch&increment. *)
+
+val find_construction : string -> Iface.t option
+
+type mutant_outcome =
+  | Killed of { seed : int; failure : Fuzz.failure; minimized_len : int }
+  | Survived of { runs : int }
+  | Not_applicable
+      (** The mutation never fired on this construction (e.g. a Swap mutant
+          on a construction that never swaps) — excluded from the gate. *)
+
+type mutant_cell = {
+  mc_construction : string;
+  mc_mutant : string;
+  fired : int;
+  outcome : mutant_outcome;
+}
+
+val mutant_killed : mutant_cell -> bool
+(** [Killed] or [Not_applicable]. *)
+
+val hunt_mutant :
+  construction:Iface.t ->
+  mutant:Mutate.t ->
+  n:int ->
+  ops:int ->
+  schedules:int ->
+  seed:int ->
+  max_states:int ->
+  unit ->
+  mutant_cell
+
+val mutation_matrix :
+  ?constructions:Iface.t list ->
+  ?mutants:Mutate.t list ->
+  n:int ->
+  ops:int ->
+  schedules:int ->
+  seed:int ->
+  max_states:int ->
+  unit ->
+  mutant_cell list
+
+val fuzz_matrix :
+  ?constructions:Iface.t list ->
+  ?types:Fuzz.object_type list ->
+  ?plans:(string * Fault_plan.t) list ->
+  n:int ->
+  ops:int ->
+  schedules:int ->
+  seed:int ->
+  max_states:int ->
+  unit ->
+  Fuzz.cell list
+(** Cells a construction does not support (the direct target on anything
+    but fetch-inc) are skipped. *)
+
+type report = { cells : Fuzz.cell list; mutants : mutant_cell list }
+
+val ok : report -> bool
+
+val pp_mutant_cell : Format.formatter -> mutant_cell -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val json_of_cell : Fuzz.cell -> Lb_observe.Json.t
+val json_of_mutant_cell : mutant_cell -> Lb_observe.Json.t
+val json_of_report : report -> Lb_observe.Json.t

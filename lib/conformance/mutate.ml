@@ -1,0 +1,100 @@
+open Lb_memory
+open Lb_runtime
+open Lb_universal
+
+type t = { name : string; description : string }
+
+let all =
+  [
+    {
+      name = "drop-sc-validation";
+      description =
+        "every SC is replaced by an unconditional Swap reported as a successful SC — the \
+         construction commits without checking its link";
+    };
+    {
+      name = "stale-ll";
+      description =
+        "within one operation, re-LLs of a register are served the first value from a local \
+         cache (via a non-linking Validate) — the operation acts on a stale snapshot";
+    };
+    {
+      name = "lost-sc-write";
+      description =
+        "every SC becomes a Validate: it reports success whenever the link is intact but never \
+         writes — the committed state transition is silently lost";
+    };
+    {
+      name = "lost-swap-write";
+      description = "every Swap reads the register (Validate) but never writes its value";
+    };
+  ]
+
+let find name = List.find_opt (fun m -> m.name = name) all
+
+(* Rewrite a free-monad program operation by operation: [rule inv] yields
+   the invocation actually issued and a post-map applied to its response
+   before the original continuation sees it. *)
+let rec rewrite rule (p : 'a Program.t) : 'a Program.t =
+  match p with
+  | Program.Return _ -> p
+  | Program.Toss k -> Program.Toss (fun o -> rewrite rule (k o))
+  | Program.Op (inv, k) ->
+    let inv', post = rule inv in
+    Program.Op (inv', fun resp -> rewrite rule (k (post resp)))
+
+(* One rule instance per object operation: [stale-ll] keeps a per-operation
+   cache, so the closure must be fresh for each [apply]. *)
+let fresh_rule t fired =
+  match t.name with
+  | "drop-sc-validation" ->
+    fun inv ->
+      (match inv with
+      | Op.Sc (r, v) ->
+        incr fired;
+        ( Op.Swap (r, v),
+          function Op.Value u -> Op.Flagged (true, u) | (Op.Flagged _ | Op.Ack) as resp -> resp )
+      | _ -> (inv, Fun.id))
+  | "stale-ll" ->
+    let cache = Hashtbl.create 4 in
+    fun inv ->
+      (match inv with
+      | Op.Ll r when Hashtbl.mem cache r ->
+        incr fired;
+        (Op.Validate r, fun _ -> Op.Value (Hashtbl.find cache r))
+      | Op.Ll r ->
+        ( inv,
+          fun resp ->
+            (match resp with Op.Value v -> Hashtbl.replace cache r v | Op.Flagged _ | Op.Ack -> ());
+            resp )
+      | _ -> (inv, Fun.id))
+  | "lost-sc-write" ->
+    fun inv ->
+      (match inv with
+      | Op.Sc (r, _) ->
+        incr fired;
+        (Op.Validate r, Fun.id)
+      | _ -> (inv, Fun.id))
+  | "lost-swap-write" ->
+    fun inv ->
+      (match inv with
+      | Op.Swap (r, _) ->
+        incr fired;
+        ( Op.Validate r,
+          function Op.Flagged (_, u) -> Op.Value u | (Op.Value _ | Op.Ack) as resp -> resp )
+      | _ -> (inv, Fun.id))
+  | other -> invalid_arg (Printf.sprintf "Mutate.fresh_rule: unknown mutant %S" other)
+
+let wrap t (c : Iface.t) =
+  let fired = ref 0 in
+  let create layout ~n spec =
+    let h = c.Iface.create layout ~n spec in
+    {
+      h with
+      Iface.apply =
+        (fun ~pid ~seq op ->
+          let rule = fresh_rule t fired in
+          rewrite rule (h.Iface.apply ~pid ~seq op));
+    }
+  in
+  ({ c with Iface.name = c.Iface.name ^ "+" ^ t.name; create }, fun () -> !fired)

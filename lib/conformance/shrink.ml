@@ -1,0 +1,74 @@
+(* Zeller–Hildebrandt delta debugging (ddmin) over schedules, followed by an
+   explicit one-element sweep: the result is 1-minimal — removing any single
+   entry loses the property — which is the "locally minimal interleaving"
+   the conformance report promises. *)
+
+let split_chunks parts l =
+  let len = List.length l in
+  let base = len / parts and extra = len mod parts in
+  let rec go i acc l =
+    if i = parts then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k acc' l = if k = 0 then (List.rev acc', l) else
+        match l with [] -> (List.rev acc', []) | x :: r -> take (k - 1) (x :: acc') r
+      in
+      let chunk, rest = take size [] l in
+      go (i + 1) (chunk :: acc) rest
+  in
+  go 0 [] l
+
+let remove_chunk chunks i = List.concat (List.filteri (fun j _ -> j <> i) chunks)
+
+let ddmin ~test input =
+  let rec loop current parts =
+    let len = List.length current in
+    if len <= 1 then current
+    else
+      let parts = min parts len in
+      let chunks = split_chunks parts current in
+      let rec try_subsets i =
+        if i >= List.length chunks then None
+        else
+          let subset = List.nth chunks i in
+          if List.length subset < len && subset <> [] && test subset then Some subset
+          else try_subsets (i + 1)
+      in
+      let rec try_complements i =
+        if i >= List.length chunks then None
+        else
+          let complement = remove_chunk chunks i in
+          if List.length complement < len && test complement then Some complement
+          else try_complements (i + 1)
+      in
+      match try_subsets 0 with
+      | Some subset -> loop subset 2
+      | None -> (
+        match try_complements 0 with
+        | Some complement -> loop complement (max (parts - 1) 2)
+        | None -> if parts < len then loop current (min len (2 * parts)) else current)
+  in
+  if not (test input) then input else loop input 2
+
+let one_minimal_pass ~test l =
+  let rec sweep l =
+    let len = List.length l in
+    let rec try_drop i =
+      if i >= len then l
+      else
+        let candidate = List.filteri (fun j _ -> j <> i) l in
+        if test candidate then sweep candidate else try_drop (i + 1)
+    in
+    try_drop 0
+  in
+  sweep l
+
+let minimize ~test input =
+  let shrunk = ddmin ~test input in
+  one_minimal_pass ~test shrunk
+
+let is_one_minimal ~test l =
+  test l
+  && List.for_all
+       (fun i -> not (test (List.filteri (fun j _ -> j <> i) l)))
+       (List.init (List.length l) Fun.id)

@@ -1,0 +1,17 @@
+(** Deterministic delta-debugging minimization of violating schedules.
+
+    [test] is the interesting-ness predicate (e.g. "replaying this schedule
+    prefix still reproduces the same conformance failure class").  All
+    functions are fully deterministic: same [test] and input, same output. *)
+
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list
+(** Classical ddmin: repeatedly try chunks and chunk-complements at
+    increasing granularity.  If [test input] is [false] the input is
+    returned unchanged. *)
+
+val minimize : test:('a list -> bool) -> 'a list -> 'a list
+(** {!ddmin} followed by a single-element deletion sweep to a fixpoint: the
+    result is 1-minimal (removing any one element breaks [test]). *)
+
+val is_one_minimal : test:('a list -> bool) -> 'a list -> bool
+(** Does [test] hold on the list but on none of its one-element deletions? *)

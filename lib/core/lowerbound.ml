@@ -27,6 +27,10 @@
     - {!Fault_plan}, {!Fault_engine}, {!Retry}, {!Fault_targets}, {!Faults}:
       fault injection (crashes, recovery, weak LL/SC, delays) and the
       wait-freedom-under-adversity certification driver;
+    - {!Conf_history}, {!Linearize}, {!Mutate}, {!Schedule_fuzz}, {!Shrink},
+      {!Conformance}: the conformance subsystem — histories with pending
+      operations, the Wing–Gong checker, mutation testing, differential
+      schedule fuzzing and counterexample shrinking;
     - {!Problem}, {!Reductions}, {!Direct_algorithms}, {!Randomized},
       {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus.
 
@@ -113,6 +117,14 @@ module Fault_engine = Lb_faults.Fault_engine
 module Retry = Lb_faults.Retry
 module Fault_targets = Lb_faults.Targets
 module Faults = Lb_faults.Certify
+
+(* Conformance *)
+module Conf_history = Lb_conformance.History
+module Linearize = Lb_conformance.Linearize
+module Mutate = Lb_conformance.Mutate
+module Schedule_fuzz = Lb_conformance.Fuzz
+module Shrink = Lb_conformance.Shrink
+module Conformance = Lb_conformance.Conform
 
 (* Wakeup *)
 module Problem = Lb_wakeup.Problem

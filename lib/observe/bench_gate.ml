@@ -20,13 +20,17 @@ let compare ~tolerance ~baseline ~current =
         | None -> (compared, name :: missing)
         | Some ns ->
           let ratio = if base > 0.0 then ns /. base else 1.0 in
+          (* The gate compares multiplicatively, not via [ratio]: dividing
+             and re-comparing rounds twice, so a run at exactly
+             base * (1 + tolerance) could flip to REGRESSION on floating
+             noise.  [ratio] is display-only. *)
           let c =
             {
               name;
               baseline_ns = base;
               current_ns = ns;
               ratio;
-              regressed = ratio > 1.0 +. tolerance;
+              regressed = ns > base *. (1.0 +. tolerance);
             }
           in
           (c :: compared, missing))

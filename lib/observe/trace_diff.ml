@@ -22,7 +22,12 @@ let compute ?kinds left right =
     | a :: l, [] -> go (index + 1) l [] (Only { side = Left; index; event = a } :: acc)
     | [], b :: r -> go (index + 1) [] r (Only { side = Right; index; event = b } :: acc)
   in
-  go 0 left right []
+  match go 0 left right [] with
+  (* One recorder detached just before the run-end marker, the other just
+     after: the executions agree on every step, so a lone trailing Run_end
+     surplus is a capture-boundary artefact, not a divergence. *)
+  | [ Only { event; _ } ] when Event.kind event.Event.event = "end" -> []
+  | entries -> entries
 
 let side_string = function Left -> "left only " | Right -> "right only"
 

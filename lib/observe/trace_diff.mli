@@ -20,7 +20,14 @@ type entry =
 val compute : ?kinds:string list -> Event.stamped list -> Event.stamped list -> entry list
 (** Diff entries in position order; [[]] iff the traces agree.  [kinds]
     restricts the comparison to events of the given {!Event.kinds} (both
-    traces are filtered before comparing). *)
+    traces are filtered before comparing).
+
+    One boundary case is deliberately forgiven: when the {e only} entry is
+    a single trailing [Run_end] surplus on either side — every compared
+    position agreed and one recorder simply detached before the run-end
+    marker was emitted — the diff is [[]].  Any disagreement before the
+    boundary, or a surplus of more than the run-end marker, still
+    reports. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 

@@ -80,3 +80,29 @@ let compute ~jobs (request : Request.t) =
                "unknown certification target %S (a construction: adt-tree, herlihy, \
                 consensus-list, direct; or a wakeup corpus entry)"
                target))))
+  | Request.Conform { target; otype; plan; n; ops; schedules; seed } -> (
+    match Lb_conformance.Conform.find_construction target with
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown conformance target %S (adt-tree, herlihy, consensus-list, direct)" target)
+    | Some construction -> (
+      match Lb_conformance.Fuzz.find_type otype with
+      | None ->
+        Error
+          (Printf.sprintf "unknown object type %S (one of: %s)" otype
+             (String.concat ", " Lb_conformance.Fuzz.type_names))
+      | Some ot when not (Lb_conformance.Fuzz.supports ~construction ot) ->
+        Error
+          (Printf.sprintf "construction %S does not implement object type %S" target otype)
+      | Some ot -> (
+        match Lb_faults.Fault_plan.of_name ~n plan with
+        | None ->
+          Error
+            (Printf.sprintf "unknown fault plan %S (one of: %s, joined with '+')" plan
+               (String.concat ", " Lb_faults.Fault_plan.plan_names))
+        | Some fault_plan ->
+          Ok
+            (Lb_conformance.Conform.json_of_cell
+               (Lb_conformance.Fuzz.check_cell ~construction ~ot ~plan_name:plan
+                  ~plan:fault_plan ~n ~ops ~schedules ~seed ~max_states:200_000 ())))))

@@ -3,6 +3,15 @@ open Lb_observe
 type spec =
   | Experiment of { id : string; quick : bool }
   | Certify of { target : string; plan : string; n : int; ops : int; seed : int }
+  | Conform of {
+      target : string;
+      otype : string;
+      plan : string;
+      n : int;
+      ops : int;
+      schedules : int;
+      seed : int;
+    }
 
 type t = { spec : spec; jobs : int }
 
@@ -11,6 +20,10 @@ let experiment ?(quick = false) id =
 
 let certify ?(n = 8) ?(ops = 1) ?(seed = 1) ~target ~plan () =
   { spec = Certify { target; plan; n; ops; seed }; jobs = 1 }
+
+let conform ?(otype = "fetch-inc") ?(plan = "none") ?(n = 4) ?(ops = 4) ?(schedules = 200)
+    ?(seed = 1) ~target () =
+  { spec = Conform { target; otype; plan; n; ops; schedules; seed }; jobs = 1 }
 
 let with_jobs t jobs = { t with jobs }
 
@@ -35,6 +48,19 @@ let to_json t =
         ("plan", Json.Str plan);
         ("n", Json.Int n);
         ("ops", Json.Int ops);
+        ("seed", Json.Int seed);
+        ("jobs", Json.Int t.jobs);
+      ]
+  | Conform { target; otype; plan; n; ops; schedules; seed } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "conform");
+        ("target", Json.Str target);
+        ("otype", Json.Str otype);
+        ("plan", Json.Str plan);
+        ("n", Json.Int n);
+        ("ops", Json.Int ops);
+        ("schedules", Json.Int schedules);
         ("seed", Json.Int seed);
         ("jobs", Json.Int t.jobs);
       ]
@@ -83,6 +109,26 @@ let of_json json =
           }
       | None, _ -> Error "certify request lacks a \"target\" field"
       | _, None -> Error "certify request lacks a \"plan\" field")
+    | Some "conform" -> (
+      match str "target" with
+      | Some target ->
+        Ok
+          {
+            spec =
+              Conform
+                {
+                  target;
+                  otype =
+                    (match str "otype" with Some s -> s | None -> "fetch-inc");
+                  plan = (match str "plan" with Some s -> s | None -> "none");
+                  n = int ~default:4 "n";
+                  ops = int ~default:4 "ops";
+                  schedules = int ~default:200 "schedules";
+                  seed = int ~default:1 "seed";
+                };
+            jobs;
+          }
+      | None -> Error "conform request lacks a \"target\" field")
     | Some other -> Error (Printf.sprintf "unknown request kind %S" other)
     | None -> Error "request lacks a \"kind\" field")
   | _ -> Error "request is not a JSON object"
@@ -97,6 +143,9 @@ let describe t =
     Printf.sprintf "experiment %s (%s)" id (if quick then "quick" else "full")
   | Certify { target; plan; n; ops; seed } ->
     Printf.sprintf "certify %s under %s, n=%d ops=%d seed=%d" target plan n ops seed
+  | Conform { target; otype; plan; n; ops; schedules; seed } ->
+    Printf.sprintf "conform %s/%s under %s, n=%d ops=%d schedules=%d seed=%d" target otype plan
+      n ops schedules seed
 
 let equal a b = a.spec = b.spec
 

@@ -26,6 +26,19 @@ type spec =
       (** One certification run: [target] is a construction name
           ([adt-tree], [herlihy], [consensus-list], [direct]) or a wakeup
           corpus entry; [plan] is a named fault plan (["+"]-composable). *)
+  | Conform of {
+      target : string;
+      otype : string;
+      plan : string;
+      n : int;
+      ops : int;
+      schedules : int;
+      seed : int;
+    }
+      (** One conformance fuzz cell: [schedules] seeded random schedules of
+          construction [target] on object type [otype] under fault plan
+          [plan], every history linearizability-checked, counterexamples
+          shrunk (see {!Lb_conformance.Fuzz.check_cell}). *)
 
 type t = { spec : spec; jobs : int }
 
@@ -34,6 +47,19 @@ val experiment : ?quick:bool -> string -> t
 
 val certify : ?n:int -> ?ops:int -> ?seed:int -> target:string -> plan:string -> unit -> t
 (** Defaults: [n = 8], [ops = 1], [seed = 1], [jobs = 1]. *)
+
+val conform :
+  ?otype:string ->
+  ?plan:string ->
+  ?n:int ->
+  ?ops:int ->
+  ?schedules:int ->
+  ?seed:int ->
+  target:string ->
+  unit ->
+  t
+(** Defaults: [otype = "fetch-inc"], [plan = "none"], [n = 4], [ops = 4],
+    [schedules = 200], [seed = 1], [jobs = 1]. *)
 
 val with_jobs : t -> int -> t
 

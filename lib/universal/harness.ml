@@ -21,6 +21,14 @@ type op_failure = {
   gave_up : int;
 }
 
+type op_in_flight = {
+  pid : int;
+  seq : int;
+  op : Value.t;
+  invoked : int;
+  cost : int;
+}
+
 type fault_hooks = {
   filter :
     step:int -> pending:(int -> Op.invocation option) -> runnable:int list -> int list;
@@ -32,7 +40,9 @@ type fault_hooks = {
 type result = {
   stats : op_stat list;
   failures : op_failure list;
+  in_flight : op_in_flight list;
   restarts : int;
+  restarted : (int * int) list;
   max_cost : int;
   mean_cost : float;
   total_shared_ops : int;
@@ -71,6 +81,7 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
   let stats = ref [] in
   let failures = ref [] in
   let restarts = ref 0 in
+  let restarted = ref [] in
   let start_next slot =
     match slot.queue with
     | [] -> ()
@@ -162,6 +173,7 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
       let program = handle.Iface.apply ~pid ~seq:(slot.seq - 1) op in
       slot.current <- Some (op, Process.create ~id:pid program, invoked);
       Lb_observe.Metrics.incr (Lb_observe.Metrics.current ()) "harness.restarts";
+      restarted := (pid, slot.seq - 1) :: !restarted;
       incr restarts
   in
   let total_ops = Array.fold_left (fun acc s -> acc + List.length s.queue + 1) 0 slots in
@@ -213,6 +225,26 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
             drive (step + 1) (remaining - 1)))
   in
   let completed = drive 0 fuel in
+  (* Operations still holding a slot when the run stopped (a crash-stopped
+     pid, or fuel exhaustion) were invoked but never responded and never
+     gave up.  They may have taken effect — e.g. a helping construction
+     completes a crashed announcer's operation on its behalf — so the
+     linearizability checker must see them as pending occurrences. *)
+  let in_flight =
+    Array.to_list slots
+    |> List.filter_map (fun slot ->
+           match slot.current with
+           | None -> None
+           | Some (op, proc, invoked) ->
+             Some
+               {
+                 pid = slot.pid;
+                 seq = slot.seq - 1;
+                 op;
+                 invoked;
+                 cost = Process.shared_ops proc + slot.lost;
+               })
+  in
   let stats = List.rev !stats in
   let costs = List.map (fun (s : op_stat) -> s.cost) stats in
   let max_cost = List.fold_left max 0 costs in
@@ -230,7 +262,9 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
   {
     stats;
     failures = List.rev !failures;
+    in_flight;
     restarts = !restarts;
+    restarted = List.rev !restarted;
     max_cost;
     mean_cost;
     total_shared_ops = Memory.total_ops memory;

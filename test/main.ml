@@ -19,4 +19,5 @@ let () =
       ("exec", Suite_exec.suite);
       ("experiments", Suite_experiments.suite);
       ("service", Suite_service.suite);
+      ("conformance", Suite_conformance.suite);
     ]

@@ -263,6 +263,84 @@ let test_reduced_wakeup_verdicts () =
       ("two-counter", Corpus.two_counter);
     ]
 
+(* ---- reduction under an active fault plan ---- *)
+
+(* Program-level encoding of [Fault_plan.spurious_sc_at ~pid ~at]: the
+   k-th SC of [pid] (1-based, for k in [at]) is replaced by a Validate on
+   the same register whose response is forced to [Flagged (false,
+   current)] — exactly the memory semantics of a spurious SC failure: no
+   write, link (Pset) kept, failure flag returned.  Encoding the fault in
+   the program lets the exhaustive explorer, which has no fault engine of
+   its own, branch over every schedule of the {e faulted} execution. *)
+let inject_spurious ~pid ~at program_of p =
+  if p <> pid then program_of p
+  else
+    let rec go k prog =
+      match prog with
+      | Program.Return _ -> prog
+      | Program.Toss cont -> Program.Toss (fun o -> go k (cont o))
+      | Program.Op (Op.Sc (r, _), cont) when List.mem k at ->
+        Program.Op
+          ( Op.Validate r,
+            fun resp -> go (k + 1) (cont (Op.Flagged (false, Op.value_of resp))) )
+      | Program.Op ((Op.Sc _ as inv), cont) ->
+        Program.Op (inv, fun resp -> go (k + 1) (cont resp))
+      | Program.Op (inv, cont) -> Program.Op (inv, fun resp -> go k (cont resp))
+    in
+    go 1 (program_of p)
+
+let reduced_agrees_on name ~n ~coin_range ~program_of ~inits =
+  let full = ref [] and reduced = ref [] in
+  let full_count =
+    Explore.iter ~n ~program_of ~inits ~coin_range
+      ~f:(fun run -> full := outcome run ~n :: !full)
+      ()
+  in
+  let stats =
+    Explore.iter_reduced ~n ~program_of ~inits ~coin_range
+      ~f:(fun run -> reduced := outcome run ~n :: !reduced)
+      ()
+  in
+  let distinct l = List.sort_uniq compare l in
+  Alcotest.(check bool)
+    (name ^ ": same distinct outcomes under faults") true
+    (distinct !full = distinct !reduced);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: no more schedules than full (%d <= %d)" name stats.Explore.runs
+       full_count)
+    true
+    (stats.Explore.runs <= full_count)
+
+let test_reduced_under_fault_plan () =
+  (* The spuriously failed SC changes the independence structure (an SC
+     becomes a read-kind Validate), so this is precisely where a wrong
+     sleep-set would diverge from full exploration.  tree-collect is the
+     one corpus algorithm that both issues SCs and tolerates their
+     failure (its merge loop ignores the flag); naive-collect and
+     two-counter size their SC retry budget at exactly [n], a bound
+     sound for genuine interference but overrun by one spurious
+     failure. *)
+  (let program_of, inits = Corpus.tree_collect.Corpus.make ~n:2 in
+   let program_of = inject_spurious ~pid:0 ~at:[ 1; 2 ] program_of in
+   reduced_agrees_on "tree-collect n=2 + spurious-sc@0:1,2" ~n:2 ~coin_range:[ 0 ]
+     ~program_of ~inits);
+  (* And on a raw LL/SC race, the fault's effect is total: with its only
+     SC forced spurious, pid 0 can never win, under full and reduced
+     exploration alike. *)
+  let race _pid =
+    let* v = Program.ll 0 in
+    let* ok = Program.sc_flag 0 (Value.Int (Value.to_int v + 1)) in
+    Program.return (if ok then 1 else 0)
+  in
+  let program_of = inject_spurious ~pid:0 ~at:[ 1 ] race in
+  let inits = [ (0, Value.Int 0) ] in
+  let zero_never_wins run = not (List.mem (0, 1) run.Explore.results) in
+  Alcotest.(check bool) "full: pid 0 never wins" true
+    (Explore.for_all ~n:2 ~program_of ~inits ~f:zero_never_wins ());
+  Alcotest.(check bool) "reduced: pid 0 never wins" true
+    (Explore.for_all_reduced ~n:2 ~program_of ~inits ~f:zero_never_wins ());
+  reduced_agrees_on "ll/sc race + spurious-sc@0:1" ~n:2 ~coin_range:[ 0 ] ~program_of ~inits
+
 (* ---- exhaustive CAS linearizability ---- *)
 
 let test_exhaustive_cas () =
@@ -329,5 +407,6 @@ let suite =
     Alcotest.test_case "reduced = full outcomes (corpus)" `Slow test_reduced_corpus;
     Alcotest.test_case "reduced finds cheater" `Quick test_reduced_finds_cheater;
     Alcotest.test_case "reduced verdicts (corpus n=2)" `Slow test_reduced_wakeup_verdicts;
+    Alcotest.test_case "reduced = full under a fault plan" `Slow test_reduced_under_fault_plan;
     Alcotest.test_case "exhaustive CAS linearizability" `Slow test_exhaustive_cas;
   ]

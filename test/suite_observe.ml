@@ -261,6 +261,32 @@ let test_trace_diff_suffix () =
   | [ Trace_diff.Only { side = Trace_diff.Left; index = 1; _ } ] -> ()
   | entries -> Alcotest.failf "unexpected diff: %d entries" (List.length entries)
 
+(* A trace that stops exactly at the run-end marker agrees with one that
+   captured the marker: the lone trailing Run_end surplus is a recorder
+   boundary, not a divergence — on either side.  Anything more than that
+   single marker (an extra event before it, or a marker plus a surplus)
+   still diffs. *)
+let test_trace_diff_run_end_boundary () =
+  let round i = { Event.at = i; event = Event.Round { index = i } } in
+  let run_end at =
+    {
+      Event.at;
+      event = Event.Run_end { outcome = Event.All_terminated; steps = at; ops = []; unfinished = [] };
+    }
+  in
+  let body = [ round 0; round 1 ] in
+  Alcotest.(check bool) "left trailing run-end forgiven" true
+    (Trace_diff.compute (body @ [ run_end 2 ]) body = []);
+  Alcotest.(check bool) "right trailing run-end forgiven" true
+    (Trace_diff.compute body (body @ [ run_end 2 ]) = []);
+  Alcotest.(check bool) "divergence before the marker still reported" true
+    (Trace_diff.compute (body @ [ run_end 2 ]) [ round 0; round 9 ] <> []);
+  Alcotest.(check bool) "surplus beyond the marker still reported" true
+    (Trace_diff.compute (body @ [ round 2; run_end 3 ]) body <> []);
+  (* Equal traces that both end in the marker stay an empty diff. *)
+  Alcotest.(check bool) "identical run-end-terminated traces agree" true
+    (Trace_diff.compute (body @ [ run_end 2 ]) (body @ [ run_end 2 ]) = [])
+
 (* ---- metrics ---- *)
 
 let test_metrics_basics () =
@@ -404,6 +430,31 @@ let test_bench_gate_regression_fails () =
   let verdict = Bench_gate.compare ~tolerance:0.30 ~baseline ~current:[ ("fast", 1.0); ("slow", 1.0) ] in
   Alcotest.(check bool) "speedup passes" true (Bench_gate.ok verdict)
 
+(* The tolerance boundary, as a property: a current reading of exactly
+   baseline * (1 + tolerance) passes the gate, and nudging it past the
+   boundary by a visible epsilon fails it — for arbitrary positive
+   baselines and tolerances.  This is why the gate compares
+   [current > baseline * (1 + tolerance)] multiplicatively instead of
+   re-deriving the bound from the rounded ratio. *)
+let t_bench_gate_tolerance_boundary =
+  let arb =
+    QCheck.make
+      ~print:(fun (b, t) -> Printf.sprintf "baseline=%g tolerance=%g" b t)
+      QCheck.Gen.(
+        let* base = float_range 1e-3 1e12 and* tol = float_range 0.0 2.0 in
+        return (base, tol))
+  in
+  qcheck ~count:500 "bench gate: exact tolerance passes, over it fails" arb
+    (fun (base, tolerance) ->
+      let boundary = base *. (1.0 +. tolerance) in
+      let eps = boundary *. 0.01 in
+      let at = Bench_gate.compare ~tolerance ~baseline:[ ("b", base) ] ~current:[ ("b", boundary) ]
+      and over =
+        Bench_gate.compare ~tolerance ~baseline:[ ("b", base) ]
+          ~current:[ ("b", boundary +. eps) ]
+      in
+      Bench_gate.ok at && not (Bench_gate.ok over))
+
 let test_bench_gate_added_benchmark_warns () =
   (* The satellite fix: a current benchmark with no baseline entry yet (a
      newly added one) must warn, not fail — otherwise adding a benchmark
@@ -460,6 +511,8 @@ let suite =
       test_trace_file_load_error;
     Alcotest.test_case "trace diff: same seed empty, cross-seed not" `Quick test_trace_diff;
     Alcotest.test_case "trace diff: length mismatch" `Quick test_trace_diff_suffix;
+    Alcotest.test_case "trace diff: run-end capture boundary is forgiven" `Quick
+      test_trace_diff_run_end_boundary;
     Alcotest.test_case "metrics: counters, gauges, histograms" `Quick test_metrics_basics;
     Alcotest.test_case "metrics: registry isolation" `Quick test_metrics_isolation;
     Alcotest.test_case "metrics: to_json" `Quick test_metrics_to_json;
@@ -469,6 +522,7 @@ let suite =
       test_bench_out_corrupt_starts_fresh;
     Alcotest.test_case "bench gate: only regressions fail" `Quick
       test_bench_gate_regression_fails;
+    t_bench_gate_tolerance_boundary;
     Alcotest.test_case "bench gate: new benchmark warns, not fails" `Quick
       test_bench_gate_added_benchmark_warns;
     Alcotest.test_case "bench gate: missing benchmark warns, not fails" `Quick

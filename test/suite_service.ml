@@ -430,7 +430,7 @@ let t_server_concurrent_fuzz () =
         (* The accounting must balance: every request was a hit, a fresh
            computation, or an in-flight dedup; distinct keys bound misses. *)
         match Client.call ~socket ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
-        | Error msg -> Alcotest.fail msg
+        | Error e -> Alcotest.fail (Client.error_message e)
         | Ok [ response ] ->
           let counter name =
             match
@@ -465,6 +465,112 @@ let t_server_rejects_garbage () =
           (Printf.sprintf "expected error;error;ok, got %s" (String.concat ";" other)));
       Unix.close fd)
 
+(* ---- client resilience against malformed servers ---- *)
+
+(* A single-shot fake server: accept one connection, drain whatever the
+   client wrote (until a newline or the peer stops sending), run [script]
+   on the connection, close.  Lets each test scripts an arbitrary broken
+   reply without touching the real server. *)
+let with_fake_server script body =
+  let tmp = Filename.temp_file "lbsvc_fake" "" in
+  Sys.remove tmp;
+  let socket = tmp ^ ".sock" in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 1;
+  let server =
+    Domain.spawn (fun () ->
+        try
+          let fd, _ = Unix.accept listener in
+          let bytes = Bytes.create 4096 in
+          let rec drain () =
+            match Unix.read fd bytes 0 (Bytes.length bytes) with
+            | 0 -> ()
+            | n -> if not (Bytes.contains (Bytes.sub bytes 0 n) '\n') then drain ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          drain ();
+          (try script fd with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        with _ -> ())
+  in
+  let finally () =
+    Domain.join server;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    if Sys.file_exists socket then Sys.remove socket
+  in
+  Fun.protect ~finally (fun () -> body socket)
+
+let raw fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+let ping = Json.Obj [ ("op", Json.Str "ping") ]
+
+let t_client_truncated_reply () =
+  with_fake_server
+    (fun fd -> raw fd "{\"status\":\"ok\",\"da")
+    (fun socket ->
+      match Client.call ~socket ~timeout_s:5.0 [ ping ] with
+      | Error Client.Closed -> ()
+      | Error e ->
+        Alcotest.fail ("expected Closed, got " ^ Client.error_message e)
+      | Ok _ -> Alcotest.fail "truncated reply must not parse as a response")
+
+let t_client_non_json_reply () =
+  with_fake_server
+    (fun fd -> raw fd "this is not json\n")
+    (fun socket ->
+      match Client.call ~socket ~timeout_s:5.0 [ ping ] with
+      | Error (Client.Bad_line { line; _ }) ->
+        Alcotest.(check string) "offending line preserved" "this is not json" line
+      | Error e ->
+        Alcotest.fail ("expected Bad_line, got " ^ Client.error_message e)
+      | Ok _ -> Alcotest.fail "non-JSON reply must not parse as a response")
+
+let t_client_unknown_key_reply () =
+  with_fake_server
+    (fun fd -> raw fd "{\"key\":\"deadbeef\",\"status\":\"ok\"}\n")
+    (fun socket ->
+      match Client.request ~socket ~timeout_s:5.0 [ Request.experiment "e1" ] with
+      | Error (Client.Unknown_key { key; _ }) ->
+        Alcotest.(check string) "stray key reported" "deadbeef" key
+      | Error e ->
+        Alcotest.fail ("expected Unknown_key, got " ^ Client.error_message e)
+      | Ok _ -> Alcotest.fail "a reply keyed by an unknown hash must be rejected")
+
+let t_client_timeout_and_connect () =
+  (* A server that accepts and then never replies -> Timeout. *)
+  with_fake_server
+    (fun _fd -> Unix.sleepf 0.3)
+    (fun socket ->
+      match Client.call ~socket ~timeout_s:0.1 [ ping ] with
+      | Error (Client.Timeout s) -> Alcotest.(check (float 1e-9)) "deadline echoed" 0.1 s
+      | Error e -> Alcotest.fail ("expected Timeout, got " ^ Client.error_message e)
+      | Ok _ -> Alcotest.fail "a mute server cannot satisfy the call");
+  (* No socket at all -> Connect, not an exception. *)
+  match Client.call ~socket:"/nonexistent/lbsvc.sock" ~timeout_s:1.0 [ ping ] with
+  | Error (Client.Connect _) -> ()
+  | Error e -> Alcotest.fail ("expected Connect, got " ^ Client.error_message e)
+  | Ok _ -> Alcotest.fail "connecting to a missing socket cannot succeed"
+
+(* Seeded fuzz: whatever bytes the server sends back, the client returns a
+   typed result — it never raises and never hangs past its deadline. *)
+let t_client_garbage_fuzz () =
+  let rand = Random.State.make [| 0xBADF00D |] in
+  for _case = 1 to 12 do
+    let len = Random.State.int rand 80 in
+    let reply =
+      String.init len (fun _ -> Char.chr (32 + Random.State.int rand 95))
+      ^ if Random.State.bool rand then "\n" else ""
+    in
+    with_fake_server
+      (fun fd -> raw fd reply)
+      (fun socket ->
+        match Client.call ~socket ~timeout_s:5.0 [ ping ] with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+          Alcotest.fail
+            (Printf.sprintf "client raised %s on reply %S" (Printexc.to_string e) reply))
+  done
+
 let suite =
   [
     Alcotest.test_case "request: distinct requests, distinct keys" `Quick
@@ -488,4 +594,13 @@ let suite =
     Alcotest.test_case "server: concurrent client fuzz" `Slow t_server_concurrent_fuzz;
     Alcotest.test_case "server: malformed lines get error responses" `Quick
       t_server_rejects_garbage;
+    Alcotest.test_case "client: truncated reply is a typed error" `Quick
+      t_client_truncated_reply;
+    Alcotest.test_case "client: non-JSON reply is a typed error" `Quick
+      t_client_non_json_reply;
+    Alcotest.test_case "client: unknown reply key is a typed error" `Quick
+      t_client_unknown_key_reply;
+    Alcotest.test_case "client: timeout and connect failures are typed" `Quick
+      t_client_timeout_and_connect;
+    Alcotest.test_case "client: garbage reply fuzz never raises" `Quick t_client_garbage_fuzz;
   ]
