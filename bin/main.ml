@@ -659,22 +659,88 @@ let serve_cmd =
   let quiet_flag =
     Arg.(value & flag & info [ "silent" ] ~doc:"Suppress per-batch progress lines.")
   in
-  let run () socket cache capacity timeout max_requests trace quiet jobs =
+  let max_queue_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-queue" ] ~docv:"K"
+          ~doc:
+            "Admission bound: batches deeper than $(docv) are refused with typed \
+             \"overload\" responses the retrying client backs off on (0 = unbounded).")
+  in
+  let fsync_flag =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync the cache journal at every batch boundary, making acknowledged results \
+             machine-crash durable (default: flush to the OS only).")
+  in
+  let supervise_flag =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run under the crash supervisor: a server crash is recovered by reloading the \
+             cache journal, compacting it, and binding a fresh generation.")
+  in
+  let chaos_plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"PLAN"
+          ~doc:
+            "Inject a named chaos plan (joined with '+') into replies and journal appends — \
+             see `lowerbound chaos --list-plans`.  For drills and tests, not production.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed for the $(b,--chaos) engine.")
+  in
+  let run () socket cache capacity timeout max_requests trace quiet jobs max_queue fsync
+      supervise chaos_plan chaos_seed =
     let jobs = resolve_jobs jobs in
-    let cache = Lb_service.Cache.create ~capacity ?path:cache () in
-    if Lb_service.Cache.loaded cache > 0 || Lb_service.Cache.corrupt cache > 0 then
-      Format.printf "(cache: reloaded %d entries, skipped %d corrupt lines)@."
-        (Lb_service.Cache.loaded cache) (Lb_service.Cache.corrupt cache);
-    let executor =
-      Lb_service.Executor.create ~jobs ?timeout_s:timeout ~cache
+    let chaos =
+      Option.map
+        (fun name ->
+          match Lb_service.Chaos.of_name name with
+          | Some plan -> Lb_service.Chaos.instantiate ~seed:chaos_seed plan
+          | None ->
+            Format.eprintf "unknown chaos plan %S (one of: %s, joined with '+')@." name
+              (String.concat ", " Lb_service.Chaos.plan_names);
+            exit 2)
+        chaos_plan
+    in
+    let max_queue = if max_queue > 0 then Some max_queue else None in
+    let first_boot = ref true in
+    let executor_of () =
+      let c = Lb_service.Cache.create ~capacity ?path:cache ~fsync ?chaos () in
+      if
+        !first_boot
+        && (Lb_service.Cache.loaded c > 0 || Lb_service.Cache.corrupt c > 0)
+      then
+        Format.printf "(cache: reloaded %d entries, skipped %d corrupt lines)@."
+          (Lb_service.Cache.loaded c) (Lb_service.Cache.corrupt c);
+      if not !first_boot then Lb_service.Cache.compact c;
+      first_boot := false;
+      Lb_service.Executor.create ~jobs ?timeout_s:timeout ~cache:c
         ~compute:Lb_service.Catalog.compute ()
     in
     let max_requests = if max_requests > 0 then Some max_requests else None in
     let log = if quiet then fun _ -> () else fun line -> Format.printf "%s@." line in
     let serve () =
-      Lb_service.Server.serve ~socket ~executor ?max_requests ~log ()
+      if supervise then
+        let s =
+          Lb_service.Server.supervise ~socket ~executor_of ?max_requests ?chaos ?max_queue
+            ~log ()
+        in
+        (s.Lb_service.Server.last, s.Lb_service.Server.recoveries)
+      else
+        ( Lb_service.Server.serve ~socket ~executor:(executor_of ()) ?max_requests ?chaos
+            ?max_queue ~log (),
+          0 )
     in
-    let stats =
+    let stats, recoveries =
       match trace with
       | None -> serve ()
       | Some path ->
@@ -685,9 +751,11 @@ let serve_cmd =
         close_out oc;
         stats
     in
-    Format.printf "served %d request(s) in %d batch(es) over %d connection(s)@."
+    Format.printf "served %d request(s) in %d batch(es) over %d connection(s)%s@."
       stats.Lb_service.Server.served stats.Lb_service.Server.batches
-      stats.Lb_service.Server.clients;
+      stats.Lb_service.Server.clients
+      (if recoveries > 0 then Printf.sprintf ", recovered from %d crash(es)" recoveries
+       else "");
     0
   in
   Cmd.v
@@ -696,10 +764,12 @@ let serve_cmd =
          "Run the experiment service: a batching line-JSON request server over a Unix-domain \
           socket with a content-keyed result cache — concurrently queued requests coalesce \
           into one batch, identical in-flight requests compute once, and cached requests \
-          never recompute.")
+          never recompute.  $(b,--supervise), $(b,--max-queue) and $(b,--fsync) arm the \
+          robustness layer (docs/ROBUSTNESS.md).")
     Term.(
       const run $ logging $ socket_arg $ cache_arg $ capacity_arg $ timeout_arg
-      $ max_requests_arg $ trace_arg $ quiet_flag $ jobs_arg)
+      $ max_requests_arg $ trace_arg $ quiet_flag $ jobs_arg $ max_queue_arg $ fsync_flag
+      $ supervise_flag $ chaos_plan_arg $ chaos_seed_arg)
 
 let request_cmd =
   let specs_arg =
@@ -767,8 +837,17 @@ let request_cmd =
       value & flag
       & info [ "raw" ] ~doc:"Print raw response JSON lines instead of the summary rendering.")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Total attempts per call (default 1 = no retry).  With $(docv) > 1 the whole \
+             batch is resent under exponential backoff on any failure or overload refusal — \
+             safe because request keys are content hashes, so resends are cache hits.")
+  in
   let run () socket specs quick certify conform otype schedules plan ops n seed metrics ping
-      shutdown timeout raw jobs =
+      shutdown timeout raw retries jobs =
     let requests =
       List.map
         (fun id -> Lb_service.Request.with_jobs (Lb_service.Request.experiment ~quick id) jobs)
@@ -804,7 +883,14 @@ let request_cmd =
       2
     end
     else
-      match Lb_service.Client.call ~socket ~timeout_s:timeout lines with
+      let call lines =
+        if retries > 1 then
+          Lb_service.Client.call_retry ~socket ~timeout_s:timeout
+            ~retry:{ Lb_service.Client.default_retry with Lb_service.Client.attempts = retries }
+            lines
+        else Lb_service.Client.call ~socket ~timeout_s:timeout lines
+      in
+      match call lines with
       | Error e ->
         Format.printf "request failed: %s@." (Lb_service.Client.error_message e);
         1
@@ -848,6 +934,10 @@ let request_cmd =
               | "timeout" ->
                 ok := false;
                 Format.printf "TIMEOUT (key %s)@." (str "key")
+              | "overload" ->
+                ok := false;
+                Format.printf "OVERLOADED (key %s) — retry later or raise --retries@."
+                  (str "key")
               | _ ->
                 ok := false;
                 Format.printf "ERROR: %s@." (str "error")
@@ -863,7 +953,126 @@ let request_cmd =
     Term.(
       const run $ logging $ socket_arg $ specs_arg $ quick_flag $ certify_arg $ conform_arg
       $ otype_arg $ schedules_arg $ plan_arg $ ops_arg $ n_arg $ seed_arg $ metrics_flag
-      $ ping_flag $ shutdown_flag $ timeout_arg $ raw_flag $ jobs_arg)
+      $ ping_flag $ shutdown_flag $ timeout_arg $ raw_flag $ retries_arg $ jobs_arg)
+
+let chaos_cmd =
+  let drills_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "drills" ] ~docv:"NAMES"
+          ~doc:"Comma-separated drill names, or $(b,all) (see $(b,--list)).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the drill reports to $(docv) as a JSON array.")
+  in
+  let retry_attempts_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "retry-attempts" ] ~docv:"K"
+          ~doc:
+            "Client retry budget per drill request.  A negative-control knob: at 1 the \
+             drop-connection drill must fail.")
+  in
+  let no_supervise_flag =
+    Arg.(
+      value & flag
+      & info [ "no-supervise" ]
+          ~doc:
+            "Run the drills without the crash supervisor.  A negative-control knob: the \
+             crash drills must fail.")
+  in
+  let no_bench_flag =
+    Arg.(
+      value & flag
+      & info [ "no-bench" ] ~doc:"Skip appending the drill stats to BENCH_service.json.")
+  in
+  let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List drill names and exit.") in
+  let list_plans_flag =
+    Arg.(value & flag & info [ "list-plans" ] ~doc:"List named chaos plans and exit.")
+  in
+  let run () seed drills report retry_attempts no_supervise no_bench list list_plans =
+    if list then begin
+      List.iter (fun n -> Format.printf "%s@." n) Lb_service.Drill.names;
+      0
+    end
+    else if list_plans then begin
+      List.iter (fun n -> Format.printf "%s@." n) Lb_service.Chaos.plan_names;
+      0
+    end
+    else begin
+      let wanted =
+        if drills = "all" then Lb_service.Drill.names
+        else
+          String.split_on_char ',' drills |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+      in
+      match List.find_opt (fun n -> not (List.mem n Lb_service.Drill.names)) wanted with
+      | Some unknown ->
+        Format.eprintf "unknown drill %S (one of: %s)@." unknown
+          (String.concat ", " Lb_service.Drill.names);
+        2
+      | None ->
+        let reports =
+          List.map
+            (fun name ->
+              match
+                Lb_service.Drill.run ~seed ~retry_attempts ~supervise:(not no_supervise) name
+              with
+              | Ok r ->
+                Format.printf "%a@." Lb_service.Drill.pp_report r;
+                r
+              | Error msg ->
+                (* Unreachable: names were validated above. *)
+                Format.eprintf "%s@." msg;
+                exit 2)
+            wanted
+        in
+        let report_json =
+          Json.Arr (List.map Lb_service.Drill.report_json reports)
+        in
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Json.to_string ~pretty:true report_json);
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "report written to %s@." path)
+          report;
+        let failed = List.filter (fun r -> not r.Lb_service.Drill.passed) reports in
+        if not no_bench then begin
+          let path =
+            Bench_out.append ~suite:"service"
+              ~meta:[ ("kind", Json.Str "chaos-drills"); ("seed", Json.Int seed) ]
+              (Json.Obj
+                 [
+                   ("drills", report_json);
+                   ("passed", Json.Int (List.length reports - List.length failed));
+                   ("total", Json.Int (List.length reports));
+                 ])
+          in
+          Format.printf "drill stats appended to %s@." path
+        end;
+        Format.printf "%d/%d drills passed@."
+          (List.length reports - List.length failed)
+          (List.length reports);
+        if failed = [] then 0 else 3
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the seeded chaos drills: each boots a supervised server with one injected \
+          failure mode (short writes, dropped/garbled/delayed replies, crashes mid-batch, \
+          torn journal appends, overload floods) and asserts the robustness invariants — \
+          every request terminates, no acknowledged result is lost, the recovered cache is \
+          byte-identical to a clean run (exit 3 on any failing drill).")
+    Term.(
+      const run $ logging $ seed_arg $ drills_arg $ report_arg $ retry_attempts_arg
+      $ no_supervise_flag $ no_bench_flag $ list_flag $ list_plans_flag)
 
 let main_cmd =
   let doc =
@@ -874,7 +1083,7 @@ let main_cmd =
     (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
     [
       exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
-      upsets_cmd; faults_cmd; conform_cmd; serve_cmd; request_cmd;
+      upsets_cmd; faults_cmd; conform_cmd; serve_cmd; request_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -106,3 +106,10 @@ let compute ~jobs (request : Request.t) =
             (Lb_conformance.Conform.json_of_cell
                (Lb_conformance.Fuzz.check_cell ~construction ~ot ~plan_name:plan
                   ~plan:fault_plan ~n ~ops ~schedules ~seed ~max_states:200_000 ())))))
+  | Request.Echo { tag; size } ->
+    (* Deterministic fill derived from the tag, so any two runs of the same
+       echo produce byte-identical payloads — the drills compare them. *)
+    let fill =
+      String.init size (fun i -> Char.chr (Char.code 'a' + ((i + String.length tag) mod 26)))
+    in
+    Ok (Json.Obj [ ("tag", Json.Str tag); ("size", Json.Int size); ("fill", Json.Str fill) ])

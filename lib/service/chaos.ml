@@ -1,0 +1,217 @@
+open Lb_observe
+
+type injector =
+  | Short_write of { max_bytes : int }
+  | Drop_reply of { at : int list }
+  | Garble_reply of { at : int list }
+  | Delay_reply of { at : int list; delay_s : float }
+  | Crash_after_reply of { at : int list }
+  | Truncate_journal of { at : int list }
+
+type t = { name : string; injectors : injector list }
+
+exception Server_crash of string
+
+let none = { name = "none"; injectors = [] }
+let name t = t.name
+let injectors t = t.injectors
+
+let check_at kind at =
+  if at = [] || List.exists (fun k -> k <= 0) at then
+    invalid_arg (Printf.sprintf "Chaos.%s: occurrence indices are 1-based" kind);
+  List.sort_uniq Int.compare at
+
+let pp_at at = String.concat "," (List.map string_of_int at)
+
+let short_write ~max_bytes =
+  if max_bytes < 1 then invalid_arg "Chaos.short_write: max_bytes < 1";
+  {
+    name = Printf.sprintf "short-write(%dB)" max_bytes;
+    injectors = [ Short_write { max_bytes } ];
+  }
+
+let drop_reply ~at =
+  let at = check_at "drop_reply" at in
+  { name = Printf.sprintf "drop-reply(@{%s})" (pp_at at); injectors = [ Drop_reply { at } ] }
+
+let garble_reply ~at =
+  let at = check_at "garble_reply" at in
+  {
+    name = Printf.sprintf "garble-reply(@{%s})" (pp_at at);
+    injectors = [ Garble_reply { at } ];
+  }
+
+let delay_reply ~at ~delay_s =
+  let at = check_at "delay_reply" at in
+  if delay_s <= 0.0 then invalid_arg "Chaos.delay_reply: delay_s <= 0";
+  {
+    name = Printf.sprintf "delay-reply(@{%s},%.2fs)" (pp_at at) delay_s;
+    injectors = [ Delay_reply { at; delay_s } ];
+  }
+
+let crash_after_reply ~at =
+  let at = check_at "crash_after_reply" at in
+  {
+    name = Printf.sprintf "crash-mid-batch(@{%s})" (pp_at at);
+    injectors = [ Crash_after_reply { at } ];
+  }
+
+let truncate_journal ~at =
+  let at = check_at "truncate_journal" at in
+  {
+    name = Printf.sprintf "journal-truncate(@{%s})" (pp_at at);
+    injectors = [ Truncate_journal { at } ];
+  }
+
+let compose ?name plans =
+  let injectors = List.concat_map (fun p -> p.injectors) plans in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> (
+      match plans with
+      | [] -> "none"
+      | _ -> String.concat " + " (List.map (fun p -> p.name) plans))
+  in
+  { name; injectors }
+
+let pp_injector ppf = function
+  | Short_write { max_bytes } ->
+    Format.fprintf ppf "cap every socket write to %d bytes" max_bytes
+  | Drop_reply { at } -> Format.fprintf ppf "drop the connection at reply #%s" (pp_at at)
+  | Garble_reply { at } -> Format.fprintf ppf "garble reply #%s" (pp_at at)
+  | Delay_reply { at; delay_s } ->
+    Format.fprintf ppf "delay reply #%s by %.2fs" (pp_at at) delay_s
+  | Crash_after_reply { at } ->
+    Format.fprintf ppf "crash the server after reply #%s" (pp_at at)
+  | Truncate_journal { at } ->
+    Format.fprintf ppf "truncate journal append #%s mid-write and crash" (pp_at at)
+
+let pp ppf t =
+  match t.injectors with
+  | [] -> Format.fprintf ppf "%s (no chaos)" t.name
+  | injectors ->
+    Format.fprintf ppf "%s:@ %a" t.name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_injector)
+      injectors
+
+(* ---- the named plan grammar (mirrors Fault_plan.named) ---- *)
+
+let named =
+  [
+    ("none", none);
+    ("short-write", short_write ~max_bytes:7);
+    ("drop", compose ~name:"drop" [ drop_reply ~at:[ 1; 4 ] ]);
+    ("garble", compose ~name:"garble" [ garble_reply ~at:[ 2 ] ]);
+    ("delay", compose ~name:"delay" [ delay_reply ~at:[ 1 ] ~delay_s:0.3 ]);
+    ("crash", compose ~name:"crash" [ crash_after_reply ~at:[ 2 ] ]);
+    ("truncate", compose ~name:"truncate" [ truncate_journal ~at:[ 2 ] ]);
+    ( "havoc",
+      compose ~name:"havoc"
+        [
+          short_write ~max_bytes:16;
+          drop_reply ~at:[ 2 ];
+          garble_reply ~at:[ 4 ];
+          delay_reply ~at:[ 6 ] ~delay_s:0.05;
+          crash_after_reply ~at:[ 8 ];
+          truncate_journal ~at:[ 3 ];
+        ] );
+  ]
+
+let plan_names = List.map fst named
+
+let of_name name =
+  Lb_faults.Fault_plan.parse_joined ~table:named
+    ~compose:(fun ~name plans -> compose ~name plans)
+    name
+
+(* ---- the seeded engine ---- *)
+
+type engine = {
+  plan : t;
+  rand : Random.State.t;
+  mutable replies : int;  (** batch-response lines the server has produced. *)
+  mutable appends : int;  (** journal lines the cache has appended. *)
+  mutable injections : int;
+}
+
+let instantiate ?(seed = 1) plan =
+  { plan; rand = Random.State.make [| 0xC4A05; seed |]; replies = 0; appends = 0; injections = 0 }
+
+let plan_of e = e.plan
+let injections e = e.injections
+
+let fired e detail =
+  e.injections <- e.injections + 1;
+  Metrics.incr (Metrics.current ()) "service.chaos_injections";
+  Tracer.record (Event.Service { op = "chaos"; detail })
+
+let write_cap e =
+  List.fold_left
+    (fun acc -> function
+      | Short_write { max_bytes } -> (
+        match acc with Some c -> Some (min c max_bytes) | None -> Some max_bytes)
+      | Drop_reply _ | Garble_reply _ | Delay_reply _ | Crash_after_reply _
+      | Truncate_journal _ ->
+        acc)
+    None e.plan.injectors
+
+type reply_action = {
+  data : string option;  (** [None]: drop the connection instead of replying. *)
+  delay_s : float;
+  crash_after : string option;  (** [Some reason]: raise {!Server_crash} after. *)
+}
+
+(* A reply garbled into bytes that can never parse as JSON (leading '}')
+   and never contain a newline — the client sees one complete, broken
+   line. *)
+let garble e line =
+  let len = min 24 (max 4 (String.length line / 4)) in
+  "}garbled-"
+  ^ String.init len (fun _ -> Char.chr (Char.code 'a' + Random.State.int e.rand 26))
+  ^ "\n"
+
+let on_reply e line =
+  e.replies <- e.replies + 1;
+  let k = e.replies in
+  List.fold_left
+    (fun act injector ->
+      match injector with
+      | Short_write { max_bytes } ->
+        (* The cap itself is applied by the server's write loop; here it
+           only counts as a firing (when this reply is long enough to be
+           chunked), so a short-write drill reports its injections. *)
+        if String.length line > max_bytes then
+          fired e (Printf.sprintf "short-write cap %dB on reply #%d" max_bytes k);
+        act
+      | Drop_reply { at } when List.mem k at ->
+        fired e (Printf.sprintf "drop-reply #%d" k);
+        { act with data = None }
+      | Garble_reply { at } when List.mem k at ->
+        fired e (Printf.sprintf "garble-reply #%d" k);
+        { act with data = (match act.data with None -> None | Some _ -> Some (garble e line)) }
+      | Delay_reply { at; delay_s } when List.mem k at ->
+        fired e (Printf.sprintf "delay-reply #%d (%.2fs)" k delay_s);
+        { act with delay_s = act.delay_s +. delay_s }
+      | Crash_after_reply { at } when List.mem k at ->
+        fired e (Printf.sprintf "crash-mid-batch after reply #%d" k);
+        { act with crash_after = Some (Printf.sprintf "chaos: crash after reply #%d" k) }
+      | Drop_reply _ | Garble_reply _ | Delay_reply _ | Crash_after_reply _
+      | Truncate_journal _ ->
+        act)
+    { data = Some line; delay_s = 0.0; crash_after = None }
+    e.plan.injectors
+
+let on_journal e line =
+  e.appends <- e.appends + 1;
+  let k = e.appends in
+  let truncates =
+    List.exists
+      (function Truncate_journal { at } -> List.mem k at | _ -> false)
+      e.plan.injectors
+  in
+  if truncates then begin
+    fired e (Printf.sprintf "journal-truncate mid-append #%d" k);
+    `Partial_then_crash (String.sub line 0 (max 1 (String.length line / 2)))
+  end
+  else `Line

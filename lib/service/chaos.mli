@@ -1,0 +1,121 @@
+(** Declarative, seeded chaos plans for the service layer.
+
+    Where [Lb_faults.Fault_plan] injects adversity into the {e simulated}
+    shared memory, a chaos plan injects adversity into the {e serving
+    path}: the server's socket writes and the cache's journal appends.
+    A plan is a named list of injectors — pure data, replayable from its
+    occurrence indices and the engine seed — and the server ({!Server.serve}
+    [?chaos]) and cache ({!Cache.create} [?chaos]) consult the instantiated
+    {!engine} at each interposition point:
+
+    - [short_write ~max_bytes]: cap every socket write syscall to
+      [max_bytes] — a permanently tiny send buffer.  Invisible when the
+      server's write loop is correct; fatal to code that assumes one
+      [write] writes everything.
+    - [drop_reply ~at]: at the [k]-th batch reply (1-based, for each [k]
+      in [at]) the connection is closed instead of written — the client
+      observes [Closed] mid-batch.
+    - [garble_reply ~at]: the reply line is replaced by bytes that cannot
+      parse as JSON — the client observes [Bad_line].
+    - [delay_reply ~at ~delay_s]: the reply is written [delay_s] late —
+      the client's per-attempt deadline fires first.
+    - [crash_after_reply ~at]: after writing the reply the server raises
+      {!Server_crash} mid-batch — some requests acked, the rest never
+      answered, every connection dropped.  {!Server.supervise} recovers.
+    - [truncate_journal ~at]: the [k]-th cache-journal append writes only
+      a prefix of its line and then raises {!Server_crash} — the on-disk
+      journal ends in a torn record, exactly what a real crash mid-append
+      leaves behind.
+
+    Control replies (ping/metrics/shutdown) are exempt: chaos targets the
+    data path, and drills need a reliable side channel.
+
+    The ['+']-joined plan grammar ({!of_name}, {!plan_names}) is shared
+    with the fault layer via [Lb_faults.Fault_plan.parse_joined].  Every
+    firing increments the [service.chaos_injections] metric and records a
+    [Service] trace event, so a traced server shows injected adversity
+    alongside the computations it interrupts. *)
+
+type injector =
+  | Short_write of { max_bytes : int }
+  | Drop_reply of { at : int list }
+  | Garble_reply of { at : int list }
+  | Delay_reply of { at : int list; delay_s : float }
+  | Crash_after_reply of { at : int list }
+  | Truncate_journal of { at : int list }
+
+type t
+(** A named, immutable list of injectors. *)
+
+exception Server_crash of string
+(** The simulated server crash: raised at an injection point, caught by
+    {!Server.supervise}, which recovers state from the journal and
+    restarts the accept loop. *)
+
+val none : t
+val name : t -> string
+val injectors : t -> injector list
+
+(** {1 Constructors} — occurrence indices are 1-based and must be
+    non-empty; [Invalid_argument] otherwise. *)
+
+val short_write : max_bytes:int -> t
+val drop_reply : at:int list -> t
+val garble_reply : at:int list -> t
+val delay_reply : at:int list -> delay_s:float -> t
+val crash_after_reply : at:int list -> t
+val truncate_journal : at:int list -> t
+
+val compose : ?name:string -> t list -> t
+(** Concatenate the injectors of several plans. *)
+
+val pp_injector : Format.formatter -> injector -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {1 The named plan grammar} *)
+
+val named : (string * t) list
+(** The built-in plans: [none], [short-write], [drop], [garble], [delay],
+    [crash], [truncate], and the everything-at-once [havoc]. *)
+
+val of_name : string -> t option
+(** Parse a [--chaos] argument: a {!plan_names} entry or several joined
+    with ["+"] (the grammar {!Lb_faults.Fault_plan.of_name} uses);
+    [None] if any component is unknown. *)
+
+val plan_names : string list
+
+(** {1 The engine} — one mutable instantiation of a plan, shared by the
+    server and its cache so occurrence counters survive restarts: a plan
+    that crashes the server at reply #5 fires once, not once per
+    generation. *)
+
+type engine
+
+val instantiate : ?seed:int -> t -> engine
+(** [seed] (default 1) drives the garbled bytes; occurrences themselves
+    are deterministic in the plan. *)
+
+val plan_of : engine -> t
+val injections : engine -> int
+(** Injections fired so far — a drill that reports 0 never tested
+    anything. *)
+
+type reply_action = {
+  data : string option;  (** [None]: drop the connection instead of replying. *)
+  delay_s : float;  (** sleep this long before writing. *)
+  crash_after : string option;
+      (** [Some reason]: raise {!Server_crash} after handling the reply. *)
+}
+
+val on_reply : engine -> string -> reply_action
+(** Account one batch-reply line (the newline-terminated wire form) and
+    say what the server must do with it. *)
+
+val write_cap : engine -> int option
+(** The socket-write chunk cap, when the plan carries a [short_write]. *)
+
+val on_journal : engine -> string -> [ `Line | `Partial_then_crash of string ]
+(** Account one journal append.  [`Line]: append normally.
+    [`Partial_then_crash prefix]: write only [prefix] (no newline), flush,
+    and raise {!Server_crash} — a torn record. *)

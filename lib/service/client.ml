@@ -7,6 +7,7 @@ type error =
   | Closed
   | Bad_line of { line : string; reason : string }
   | Unknown_key of { key : string; line : string }
+  | Overload of { attempts : int }
 
 let clip line = if String.length line <= 120 then line else String.sub line 0 117 ^ "..."
 
@@ -19,6 +20,8 @@ let error_message = function
     Printf.sprintf "bad response line %S: %s" (clip line) reason
   | Unknown_key { key; line } ->
     Printf.sprintf "response key %S matches no request in the batch (%s)" key (clip line)
+  | Overload { attempts } ->
+    Printf.sprintf "server overloaded (still refusing after %d attempts)" attempts
 
 let pp_error ppf e = Format.pp_print_string ppf (error_message e)
 
@@ -89,22 +92,89 @@ let call ~socket ?(timeout_s = 60.0) lines =
 
 let reply_key reply = Option.bind (Json.member "key" reply) Json.to_str_opt
 
+let validate_keys ~requests replies =
+  let keys = List.map Request.key requests in
+  let stray =
+    List.find_opt
+      (fun reply ->
+        match reply_key reply with Some k -> not (List.mem k keys) | None -> false)
+      replies
+  in
+  match stray with
+  | Some reply ->
+    let key = Option.value ~default:"?" (reply_key reply) in
+    Error (Unknown_key { key; line = Json.to_string reply })
+  | None -> Ok replies
+
 let request ~socket ?timeout_s requests =
   match call ~socket ?timeout_s (List.map Request.to_json requests) with
   | Error e -> Error e
-  | Ok replies -> (
-    let keys = List.map Request.key requests in
-    let stray =
-      List.find_opt
-        (fun reply ->
-          match reply_key reply with Some k -> not (List.mem k keys) | None -> false)
-        replies
+  | Ok replies -> validate_keys ~requests replies
+
+(* ---- the retrying client ---- *)
+
+type retry = {
+  attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  max_delay_s : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_retry =
+  { attempts = 6; base_delay_s = 0.05; multiplier = 2.0; max_delay_s = 1.0; jitter = 0.25;
+    seed = 0 }
+
+(* Deterministic jitter: a uniform in [0,1) hashed from (seed, failures)
+   rather than drawn from threaded RNG state, so a retry schedule is a pure
+   function of the policy — replaying a drill replays its exact sleeps. *)
+let backoff_s r ~failures =
+  if failures < 1 then invalid_arg "Client.backoff_s: failures < 1";
+  let base = r.base_delay_s *. (r.multiplier ** float_of_int (failures - 1)) in
+  let capped = Float.min r.max_delay_s base in
+  let u =
+    float_of_int (Hashtbl.hash (0x51CA05, r.seed, failures) land 0xFFFFFF) /. 16777216.0
+  in
+  capped *. (1.0 -. (r.jitter /. 2.0) +. (r.jitter *. u))
+
+let is_overload reply =
+  match Option.bind (Json.member "status" reply) Json.to_str_opt with
+  | Some "overload" -> true
+  | _ -> false
+
+let call_retry ~socket ?timeout_s ?(retry = default_retry) lines =
+  if retry.attempts < 1 then invalid_arg "Client.call_retry: retry.attempts < 1";
+  (* Safe to resend wholesale: request keys are content hashes, so a
+     repeated line is a cache hit (or an in-flight dedup), never a second
+     execution — pinned by the never-double-executes test. *)
+  let rec attempt k =
+    let outcome =
+      match call ~socket ?timeout_s lines with
+      | Ok replies when List.exists is_overload replies ->
+        Stdlib.Error (Overload { attempts = k })
+      | (Ok _ | Error _) as r -> r
     in
-    match stray with
-    | Some reply ->
-      let key = Option.value ~default:"?" (reply_key reply) in
-      Error (Unknown_key { key; line = Json.to_string reply })
-    | None -> Ok replies)
+    match outcome with
+    | Ok replies -> Ok replies
+    | Error e ->
+      if k >= retry.attempts then
+        Error (match e with Overload _ -> Overload { attempts = retry.attempts } | e -> e)
+      else begin
+        Metrics.incr (Metrics.current ()) "service.retries";
+        Tracer.record
+          (Event.Service
+             { op = "retry"; detail = Printf.sprintf "attempt %d: %s" k (error_message e) });
+        Unix.sleepf (backoff_s retry ~failures:k);
+        attempt (k + 1)
+      end
+  in
+  attempt 1
+
+let request_retry ~socket ?timeout_s ?retry requests =
+  match call_retry ~socket ?timeout_s ?retry (List.map Request.to_json requests) with
+  | Error e -> Error e
+  | Ok replies -> validate_keys ~requests replies
 
 let wait_ready ~socket ?(attempts = 100) ?(interval_s = 0.05) () =
   let ping = Json.Obj [ ("op", Json.Str "ping") ] in

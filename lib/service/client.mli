@@ -8,7 +8,17 @@
     Every failure mode is a typed {!error}; no function here raises on
     malformed server behaviour (truncated line, non-JSON reply, a reply
     keyed by an unknown hash) — that is pinned by fuzz tests against
-    deliberately broken servers in [suite_service]. *)
+    deliberately broken servers in [suite_service].
+
+    The retrying layer ({!call_retry}, {!request_retry}) resends the whole
+    batch on any failure — connect refusal, timeout, garbled line, dropped
+    connection, or a typed ["overload"] refusal — under a bounded
+    exponential-backoff {!retry} policy with {e deterministic} seeded
+    jitter (the schedule is a pure function of the policy, so drills
+    replay exactly).  Resending is safe because request keys are content
+    hashes: a line the server already executed comes back as a cache hit,
+    never a second execution.  A typed error surfaces only once the
+    attempt budget is exhausted. *)
 
 open Lb_observe
 
@@ -22,6 +32,9 @@ type error =
   | Unknown_key of { key : string; line : string }
       (** a reply whose ["key"] matches no request in the batch
           ({!request} only). *)
+  | Overload of { attempts : int }
+      (** the server refused at admission control on every one of
+          [attempts] tries ({!call_retry}/{!request_retry} only). *)
 
 val error_message : error -> string
 val pp_error : Format.formatter -> error -> unit
@@ -38,6 +51,52 @@ val request :
 (** {!call} on the canonical serialisations, then validate that every
     keyed reply's ["key"] belongs to the batch ([Unknown_key] otherwise).
     Replies arrive in request order. *)
+
+(** {1 Retrying} *)
+
+type retry = {
+  attempts : int;  (** total tries, including the first (≥ 1). *)
+  base_delay_s : float;  (** backoff after the first failure. *)
+  multiplier : float;  (** backoff growth per successive failure. *)
+  max_delay_s : float;  (** backoff ceiling. *)
+  jitter : float;
+      (** spread factor: the delay is scaled by a deterministic uniform in
+          [1 - jitter/2, 1 + jitter/2). *)
+  seed : int;  (** drives the jitter hash — same seed, same schedule. *)
+}
+
+val default_retry : retry
+(** [{ attempts = 6; base_delay_s = 0.05; multiplier = 2.0;
+      max_delay_s = 1.0; jitter = 0.25; seed = 0 }] — six tries spanning
+    roughly 1.6 s of cumulative backoff. *)
+
+val backoff_s : retry -> failures:int -> float
+(** The sleep before retrying after the [failures]-th consecutive failure
+    (1-based; [Invalid_argument] below 1):
+    [min max_delay_s (base_delay_s * multiplier^(failures-1))] scaled by
+    the seeded jitter.  Pure — exposed so tests can pin the schedule. *)
+
+val call_retry :
+  socket:string ->
+  ?timeout_s:float ->
+  ?retry:retry ->
+  Json.t list ->
+  (Json.t list, error) result
+(** {!call} under a retry policy ([timeout_s] is {e per attempt}).  Any
+    failed attempt — and any attempt whose replies include a ["status":
+    "overload"] refusal — increments [service.retries], records a
+    [Service] retry trace event, sleeps {!backoff_s} and resends the
+    whole batch.  After [retry.attempts] tries the last error (or
+    {!Overload}) is returned. *)
+
+val request_retry :
+  socket:string ->
+  ?timeout_s:float ->
+  ?retry:retry ->
+  Request.t list ->
+  (Json.t list, error) result
+(** {!request} with {!call_retry} underneath: retries, then validates
+    reply keys against the batch. *)
 
 val wait_ready : socket:string -> ?attempts:int -> ?interval_s:float -> unit -> bool
 (** Poll until a [ping] round-trips (true) or [attempts] (default 100)

@@ -1,0 +1,266 @@
+open Lb_observe
+
+type report = {
+  drill : string;
+  seed : int;
+  passed : bool;
+  failures : string list;
+  requests : int;
+  acked : int;
+  retries : int;
+  recoveries : int;
+  overload_rejections : int;
+  injections : int;
+  elapsed_s : float;
+}
+
+(* One drill: a chaos plan, a client posture, and (for the overload drill)
+   an admission bound to flood. *)
+type spec = {
+  dname : string;
+  plan : Chaos.t;
+  max_queue : int option;
+  payload_size : int;
+  client_timeout_s : float;
+  flood : bool;
+}
+
+let specs =
+  [
+    (* Payloads far larger than the 7-byte write cap: the reply only
+       arrives intact if the server's write loop is short-write-safe. *)
+    { dname = "short-write"; plan = Chaos.short_write ~max_bytes:7; max_queue = None;
+      payload_size = 2000; client_timeout_s = 5.0; flood = false };
+    { dname = "drop-connection"; plan = Chaos.drop_reply ~at:[ 1; 4 ]; max_queue = None;
+      payload_size = 64; client_timeout_s = 5.0; flood = false };
+    { dname = "garble"; plan = Chaos.garble_reply ~at:[ 2 ]; max_queue = None;
+      payload_size = 64; client_timeout_s = 5.0; flood = false };
+    (* The reply is delayed past the client's per-attempt deadline, so the
+       first attempt times out and a retry lands after the sleep. *)
+    { dname = "delay"; plan = Chaos.delay_reply ~at:[ 1 ] ~delay_s:0.6; max_queue = None;
+      payload_size = 64; client_timeout_s = 0.2; flood = false };
+    { dname = "crash-mid-batch"; plan = Chaos.crash_after_reply ~at:[ 2; 5 ];
+      max_queue = None; payload_size = 64; client_timeout_s = 5.0; flood = false };
+    { dname = "journal-truncate"; plan = Chaos.truncate_journal ~at:[ 2 ]; max_queue = None;
+      payload_size = 64; client_timeout_s = 5.0; flood = false };
+    { dname = "overload"; plan = Chaos.none; max_queue = Some 2; payload_size = 64;
+      client_timeout_s = 5.0; flood = true };
+  ]
+
+let names = List.map (fun s -> s.dname) specs
+
+let distinct_tags = 6
+let workload_len = 10
+
+(* The drill cargo: seeded echo requests with deliberate duplicates
+   (10 requests over 6 distinct keys), so caching and idempotency are
+   exercised alongside the injected adversity. *)
+let workload spec ~seed =
+  List.init workload_len (fun i ->
+      Request.echo ~size:spec.payload_size
+        (Printf.sprintf "drill-%s-s%d-%d" spec.dname seed (i mod distinct_tags)))
+
+let reply_status reply =
+  Option.value ~default:"?" (Option.bind (Json.member "status" reply) Json.to_str_opt)
+
+(* The clean run: the same workload pushed straight through an executor on
+   a throwaway in-memory cache — no sockets, no chaos.  Its key → payload
+   map and canonical snapshot are the ground truth every invariant below
+   compares against. *)
+let clean_run spec ~seed =
+  let cache = Cache.create ~capacity:64 () in
+  let executor = Executor.create ~cache ~compute:Catalog.compute () in
+  let responses = Executor.run_batch executor (workload spec ~seed) in
+  let map =
+    List.filter_map
+      (fun (r : Executor.response) ->
+        match r.Executor.outcome with
+        | Executor.Ok payload -> Some (r.Executor.key, payload)
+        | _ -> None)
+      responses
+  in
+  (map, Json.to_string (Cache.snapshot_json cache))
+
+let run_spec spec ~seed ~retry_attempts ~supervise =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt in
+  let requests = ref 0 and acked = ref 0 in
+  let clean_map, clean_snapshot = clean_run spec ~seed in
+  (* Scratch space: a private directory so socket and journal paths cannot
+     collide across concurrent drills. *)
+  let dir =
+    let base = Filename.temp_file "lb-drill" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o700;
+    base
+  in
+  let socket = Filename.concat dir "sock" in
+  let journal = Filename.concat dir "journal.jsonl" in
+  let engine = Chaos.instantiate ~seed spec.plan in
+  let executor_of () =
+    let cache = Cache.create ~capacity:64 ~path:journal ~fsync:true ~chaos:engine () in
+    (* Recovery compaction: restart cost stays bounded by the cache size,
+       not by how many crashes the journal has absorbed. *)
+    Cache.compact cache;
+    Executor.create ~cache ~compute:Catalog.compute ()
+  in
+  let srv_reg = Metrics.create () in
+  let server =
+    Domain.spawn (fun () ->
+        Metrics.with_registry srv_reg (fun () ->
+            try
+              if supervise then
+                Stdlib.Ok
+                  (Server.supervise ~socket ~executor_of ~max_restarts:10 ~chaos:engine
+                     ?max_queue:spec.max_queue ())
+              else
+                Stdlib.Ok
+                  (let stats =
+                     Server.serve ~socket ~executor:(executor_of ()) ~chaos:engine
+                       ?max_queue:spec.max_queue ()
+                   in
+                   { Server.last = stats; recoveries = 0 })
+            with exn -> Stdlib.Error (Printexc.to_string exn)))
+  in
+  let retry =
+    { Client.attempts = retry_attempts; base_delay_s = 0.05; multiplier = 2.0;
+      max_delay_s = 0.3; jitter = 0.25; seed }
+  in
+  if not (Client.wait_ready ~socket ()) then fail "server never became ready";
+  (* The overload drill first floods one batch past the admission bound:
+     the typed Overload must surface once the budget is spent — requests
+     terminate, they do not hang. *)
+  if spec.flood then begin
+    let batch =
+      List.init distinct_tags (fun i ->
+          Request.echo ~size:spec.payload_size
+            (Printf.sprintf "drill-%s-s%d-%d" spec.dname seed i))
+    in
+    match
+      Client.request_retry ~socket ~timeout_s:spec.client_timeout_s
+        ~retry:{ retry with Client.attempts = 3 }
+        batch
+    with
+    | Error (Client.Overload _) -> ()
+    | Ok _ -> fail "flood batch of %d was admitted in full past max_queue" distinct_tags
+    | Error e -> fail "flood batch failed unexpectedly: %s" (Client.error_message e)
+  end;
+  (* The workload proper: one request at a time through the retrying
+     client.  Every request must end in an acknowledged payload identical
+     to the clean run's. *)
+  List.iter
+    (fun req ->
+      incr requests;
+      let key = Request.key req in
+      match Client.request_retry ~socket ~timeout_s:spec.client_timeout_s ~retry [ req ] with
+      | Ok [ reply ] -> (
+        match reply_status reply with
+        | "ok" -> (
+          incr acked;
+          match (Json.member "data" reply, List.assoc_opt key clean_map) with
+          | Some got, Some want when got = want -> ()
+          | Some _, Some _ -> fail "payload for %s differs from the clean run" key
+          | _ -> fail "reply for %s lacks data (or clean run lacks the key)" key)
+        | other -> fail "request %s ended with status %S" key other)
+      | Ok replies -> fail "request %s got %d replies, wanted 1" key (List.length replies)
+      | Error e -> fail "request %s exhausted retries: %s" key (Client.error_message e))
+    (workload spec ~seed);
+  (* Stop the server (retried: a crash drill may be mid-restart). *)
+  let rec stop k =
+    if k = 0 then fail "shutdown was never acknowledged"
+    else
+      match
+        Client.call ~socket ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ]
+      with
+      | Ok _ -> ()
+      | Error _ ->
+        Unix.sleepf 0.05;
+        stop (k - 1)
+  in
+  stop 40;
+  (match Domain.join server with
+  | Stdlib.Ok _ -> ()
+  | Stdlib.Error msg -> fail "server died instead of shutting down: %s" msg);
+  (* Invariants on the survivors: the journal must reload into a cache
+     byte-identical to the clean run's — acknowledged results included —
+     no matter what was injected. *)
+  (if Sys.file_exists journal then begin
+     let reloaded = Cache.create ~capacity:64 ~path:journal () in
+     let snapshot = Json.to_string (Cache.snapshot_json reloaded) in
+     Cache.close reloaded;
+     if !acked > 0 && snapshot <> clean_snapshot then
+       fail "post-recovery cache differs from the clean run (%d corrupt lines)"
+         (Cache.corrupt reloaded)
+   end
+   else if !acked > 0 then fail "journal file vanished");
+  if Chaos.injectors spec.plan <> [] && Chaos.injections engine = 0 then
+    fail "chaos plan %s never fired — the drill tested nothing" (Chaos.name spec.plan);
+  (match spec.max_queue with
+  | Some _ when Metrics.counter_value srv_reg "service.overload_rejections" = 0 ->
+    fail "admission control never rejected despite the flood"
+  | _ -> ());
+  (* Best-effort scratch cleanup. *)
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ journal; socket; journal ^ ".compact.tmp" ];
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let failures = List.rev !failures in
+  {
+    drill = spec.dname;
+    seed;
+    passed = failures = [];
+    failures;
+    requests = !requests;
+    acked = !acked;
+    retries = Metrics.counter_value (Metrics.current ()) "service.retries";
+    recoveries = Metrics.counter_value srv_reg "service.recoveries";
+    overload_rejections = Metrics.counter_value srv_reg "service.overload_rejections";
+    injections = Chaos.injections engine;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let find name = List.find_opt (fun s -> s.dname = name) specs
+
+let run ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) name =
+  match find name with
+  | None ->
+    Stdlib.Error
+      (Printf.sprintf "unknown drill %S (one of: %s)" name (String.concat ", " names))
+  | Some spec ->
+    (* Each drill runs in its own metrics registry so [retries] counts
+       just this drill's client, not whatever the caller accumulated. *)
+    Stdlib.Ok
+      (Metrics.with_registry (Metrics.create ()) (fun () ->
+           run_spec spec ~seed ~retry_attempts ~supervise))
+
+let run_all ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) () =
+  List.map
+    (fun spec ->
+      Metrics.with_registry (Metrics.create ()) (fun () ->
+          run_spec spec ~seed ~retry_attempts ~supervise))
+    specs
+
+let report_json r =
+  Json.Obj
+    [
+      ("drill", Json.Str r.drill);
+      ("seed", Json.Int r.seed);
+      ("passed", Json.Bool r.passed);
+      ("failures", Json.Arr (List.map (fun m -> Json.Str m) r.failures));
+      ("requests", Json.Int r.requests);
+      ("acked", Json.Int r.acked);
+      ("retries", Json.Int r.retries);
+      ("recoveries", Json.Int r.recoveries);
+      ("overload_rejections", Json.Int r.overload_rejections);
+      ("injections", Json.Int r.injections);
+      ("elapsed_s", Json.Float r.elapsed_s);
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-16s %s  req=%d acked=%d retries=%d recoveries=%d overload=%d inj=%d (%.2fs)"
+    r.drill
+    (if r.passed then "PASS" else "FAIL")
+    r.requests r.acked r.retries r.recoveries r.overload_rejections r.injections r.elapsed_s;
+  if not r.passed then
+    List.iter (fun m -> Format.fprintf ppf "@.    - %s" m) r.failures

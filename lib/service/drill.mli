@@ -1,0 +1,62 @@
+(** Seeded chaos drills: end-to-end crash/recovery exercises over a real
+    server, a real socket, a real journal — with invariants checked
+    against a chaos-free clean run.
+
+    One drill boots a supervised server ({!Server.supervise}) on a scratch
+    Unix socket with a scratch cache journal, under one {!Chaos} plan, and
+    pushes a fixed seeded workload of echo requests (duplicates included)
+    through the retrying client.  It then asserts the robustness
+    invariants of docs/ROBUSTNESS.md:
+
+    - {e every} client request terminates — in an acknowledged payload
+      identical to the clean run's, or (overload drill) in a typed error
+      once the retry budget is spent; nothing hangs, nothing raises;
+    - no acknowledged result is lost: after all injected crashes, the
+      journal reloads into a cache {e byte-identical} to the clean run's
+      canonical snapshot;
+    - the plan actually fired ({!Chaos.injections} > 0) — a drill that
+      injected nothing tested nothing;
+    - the overload drill's flood was really refused
+      ([service.overload_rejections] > 0).
+
+    Drills are deterministic in [seed] (workload tags, retry jitter,
+    garbled bytes); wall-clock fields aside, re-running a drill reproduces
+    its report.  The [retry_attempts] and [supervise] knobs exist for
+    negative controls: dropping the budget to 1 must fail the
+    drop-connection drill, and disabling supervision must fail the crash
+    drills — pinned in the chaos test suite, so the drills are known to be
+    able to fail. *)
+
+type report = {
+  drill : string;
+  seed : int;
+  passed : bool;
+  failures : string list;  (** empty iff [passed]. *)
+  requests : int;  (** workload requests sent (flood batch excluded). *)
+  acked : int;  (** requests that ended in a verified ["ok"]. *)
+  retries : int;  (** client resends ([service.retries]). *)
+  recoveries : int;  (** server restarts ([service.recoveries]). *)
+  overload_rejections : int;  (** admission refusals ([service.overload_rejections]). *)
+  injections : int;  (** chaos firings ({!Chaos.injections}). *)
+  elapsed_s : float;
+}
+
+val names : string list
+(** The drill roster: [short-write], [drop-connection], [garble], [delay],
+    [crash-mid-batch], [journal-truncate], [overload]. *)
+
+val run :
+  ?seed:int -> ?retry_attempts:int -> ?supervise:bool -> string -> (report, string) result
+(** Run one drill by name ([Error] for an unknown one).  Defaults:
+    [seed = 1], [retry_attempts = 8], [supervise = true].  Runs inside a
+    fresh metrics registry, so [retries] counts exactly this drill. *)
+
+val run_all : ?seed:int -> ?retry_attempts:int -> ?supervise:bool -> unit -> report list
+(** Every drill in roster order, each in its own registry. *)
+
+val report_json : report -> Lb_observe.Json.t
+(** The drill-report schema: every {!report} field, verbatim. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per drill ([PASS]/[FAIL] plus the counters), with failure
+    bullets underneath when failing. *)

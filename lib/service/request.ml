@@ -12,6 +12,7 @@ type spec =
       schedules : int;
       seed : int;
     }
+  | Echo of { tag : string; size : int }
 
 type t = { spec : spec; jobs : int }
 
@@ -24,6 +25,10 @@ let certify ?(n = 8) ?(ops = 1) ?(seed = 1) ~target ~plan () =
 let conform ?(otype = "fetch-inc") ?(plan = "none") ?(n = 4) ?(ops = 4) ?(schedules = 200)
     ?(seed = 1) ~target () =
   { spec = Conform { target; otype; plan; n; ops; schedules; seed }; jobs = 1 }
+
+let echo ?(size = 0) tag =
+  if size < 0 then invalid_arg "Request.echo: size < 0";
+  { spec = Echo { tag; size }; jobs = 1 }
 
 let with_jobs t jobs = { t with jobs }
 
@@ -62,6 +67,14 @@ let to_json t =
         ("ops", Json.Int ops);
         ("schedules", Json.Int schedules);
         ("seed", Json.Int seed);
+        ("jobs", Json.Int t.jobs);
+      ]
+  | Echo { tag; size } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "echo");
+        ("tag", Json.Str tag);
+        ("size", Json.Int size);
         ("jobs", Json.Int t.jobs);
       ]
 
@@ -129,6 +142,13 @@ let of_json json =
             jobs;
           }
       | None -> Error "conform request lacks a \"target\" field")
+    | Some "echo" -> (
+      match str "tag" with
+      | Some tag ->
+        let size = int ~default:0 "size" in
+        if size < 0 then Error "echo request has a negative \"size\""
+        else Ok { spec = Echo { tag; size }; jobs }
+      | None -> Error "echo request lacks a \"tag\" field")
     | Some other -> Error (Printf.sprintf "unknown request kind %S" other)
     | None -> Error "request lacks a \"kind\" field")
   | _ -> Error "request is not a JSON object"
@@ -146,6 +166,7 @@ let describe t =
   | Conform { target; otype; plan; n; ops; schedules; seed } ->
     Printf.sprintf "conform %s/%s under %s, n=%d ops=%d schedules=%d seed=%d" target otype plan
       n ops schedules seed
+  | Echo { tag; size } -> Printf.sprintf "echo %s (%dB)" tag size
 
 let equal a b = a.spec = b.spec
 

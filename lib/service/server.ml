@@ -23,15 +23,39 @@ let drain_lines client =
   Buffer.add_substring client.buf data !start (String.length data - !start);
   List.rev !lines
 
+(* Write the whole string, however many syscalls it takes.  [single_write]
+   rather than [write]: the latter loops internally and can report fewer
+   bytes than it wrote when interrupted mid-loop, which is unrecoverable —
+   with single_write a short count is exactly the unwritten suffix.  [cap]
+   (chaos) bounds each chunk, simulating a tiny send buffer. *)
+let write_all ?cap fd s =
+  let len = String.length s in
+  let chunk = match cap with Some c -> max 1 c | None -> len in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.single_write_substring fd s !off (min chunk (len - !off)) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
 let write_line fd json =
   let line = Json.to_string json ^ "\n" in
-  try ignore (Unix.write_substring fd line 0 (String.length line))
+  try write_all fd line
   with Unix.Unix_error _ -> () (* client gone mid-reply: drop, keep serving *)
 
 let error_response msg =
   Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ]
 
-let serve ~socket ~executor ?max_requests ?(log = fun _ -> ()) () =
+let rec split_at n = function
+  | x :: tl when n > 0 ->
+    let a, b = split_at (n - 1) tl in
+    (x :: a, b)
+  | l -> ([], l)
+
+let serve ~socket ~executor ?max_requests ?chaos ?max_queue ?(log = fun _ -> ()) () =
+  Option.iter
+    (fun q -> if q < 1 then invalid_arg (Printf.sprintf "Server: max_queue %d < 1" q))
+    max_queue;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   if Sys.file_exists socket then Unix.unlink socket;
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
@@ -49,6 +73,29 @@ let serve ~socket ~executor ?max_requests ?(log = fun _ -> ()) () =
   let close_client c =
     clients := List.filter (fun c' -> c'.fd != c.fd) !clients;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  (* Batch replies go through the chaos engine (control and overload
+     replies do not: drills need a reliable side channel, and exempting
+     them keeps the engine's reply numbering deterministic).  The journal
+     append for a stored result happens inside [Executor.run_batch],
+     strictly before the reply is written here — so an {e acknowledged}
+     result is always already durable, which is the invariant the crash
+     drills assert. *)
+  let write_reply c resp =
+    let line = Json.to_string (Executor.response_to_json resp) ^ "\n" in
+    match chaos with
+    | None -> ( try write_all c.fd line with Unix.Unix_error _ -> ())
+    | Some engine -> (
+      let action = Chaos.on_reply engine line in
+      if action.Chaos.delay_s > 0.0 then Unix.sleepf action.Chaos.delay_s;
+      (match action.Chaos.data with
+      | None -> close_client c
+      | Some data -> (
+        try write_all ?cap:(Chaos.write_cap engine) c.fd data
+        with Unix.Unix_error _ -> ()));
+      match action.Chaos.crash_after with
+      | Some reason -> raise (Chaos.Server_crash reason)
+      | None -> ())
   in
   let handle_line c line queue =
     if String.trim line = "" then queue
@@ -85,6 +132,27 @@ let serve ~socket ~executor ?max_requests ?(log = fun _ -> ()) () =
             write_line c.fd (error_response msg);
             queue))
   in
+  (* Admission control: a batch deeper than [max_queue] would hold every
+     caller hostage to the slowest computation, so the excess (latest
+     arrivals first dropped) is refused with a typed overload response the
+     retrying client backs off on.  Refusals bypass the executor entirely —
+     nothing computed, nothing cached, nothing counted as served. *)
+  let admit queue =
+    match max_queue with
+    | Some bound when List.length queue > bound ->
+      let admitted, rejected = split_at bound queue in
+      let m = Metrics.current () in
+      List.iter
+        (fun (c, req) ->
+          Metrics.incr m "service.overload_rejections";
+          Tracer.record (Event.Service { op = "overload"; detail = Request.describe req });
+          write_line c.fd (Executor.response_to_json (Executor.overload_response req)))
+        rejected;
+      log (Printf.sprintf "overload: refused %d of %d queued" (List.length rejected)
+             (List.length queue));
+      admitted
+    | _ -> queue
+  in
   log (Printf.sprintf "listening on %s" socket);
   (try
      while not !stop do
@@ -119,13 +187,12 @@ let serve ~socket ~executor ?max_requests ?(log = fun _ -> ()) () =
              | exception Unix.Unix_error _ -> close_client c
            end)
          !clients;
-       let queue = List.rev !queue in
+       let queue = admit (List.rev !queue) in
        if queue <> [] then begin
          incr batches;
          let responses = Executor.run_batch executor (List.map snd queue) in
-         List.iter2
-           (fun (c, _) resp -> write_line c.fd (Executor.response_to_json resp))
-           queue responses;
+         Cache.sync (Executor.cache executor);
+         List.iter2 (fun (c, _) resp -> write_reply c resp) queue responses;
          served := !served + List.length responses;
          log
            (Printf.sprintf "batch of %d (%d served total, cache %d/%d)" (List.length queue)
@@ -139,7 +206,8 @@ let serve ~socket ~executor ?max_requests ?(log = fun _ -> ()) () =
      done
    with exn ->
      (* Restore the world before propagating: the server must never leak
-        its socket file or signal handlers. *)
+        its socket file or signal handlers — a {!Chaos.Server_crash} takes
+        this path too, on its way to the supervisor. *)
      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      if Sys.file_exists socket then Unix.unlink socket;
@@ -156,3 +224,31 @@ let serve ~socket ~executor ?max_requests ?(log = fun _ -> ()) () =
   Sys.set_signal Sys.sigterm old_term;
   log (Printf.sprintf "shutdown after %d requests in %d batches" !served !batches);
   { served = !served; batches = !batches; clients = !accepted }
+
+type supervised = { last : stats; recoveries : int }
+
+let supervise ~socket ~executor_of ?max_requests ?(max_restarts = 100) ?chaos ?max_queue
+    ?(log = fun _ -> ()) () =
+  if max_restarts < 0 then invalid_arg "Server.supervise: max_restarts < 0";
+  let recoveries = ref 0 in
+  let rec generation () =
+    let executor = executor_of () in
+    match serve ~socket ~executor ?max_requests ?chaos ?max_queue ~log () with
+    | stats -> { last = stats; recoveries = !recoveries }
+    | exception Chaos.Server_crash reason ->
+      (* [serve]'s cleanup already ran (fds closed, socket unlinked,
+         handlers restored) but the crashed generation's journal channel is
+         still open — close it before the next generation reopens the
+         file. *)
+      Cache.close (Executor.cache executor);
+      if !recoveries >= max_restarts then
+        failwith
+          (Printf.sprintf "Server.supervise: gave up after %d restarts (last crash: %s)"
+             max_restarts reason);
+      incr recoveries;
+      Metrics.incr (Metrics.current ()) "service.recoveries";
+      Tracer.record (Event.Service { op = "recovery"; detail = reason });
+      log (Printf.sprintf "crash (%s); recovering, restart #%d" reason !recoveries);
+      generation ()
+  in
+  generation ()

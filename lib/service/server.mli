@@ -20,22 +20,77 @@
     The loop multiplexes with [Unix.select] — no helper threads, no
     external dependencies — and shuts down gracefully on [SIGINT] /
     [SIGTERM] (current batch finished, every pending response written,
-    socket file unlinked, cache journal flushed and closed). *)
+    socket file unlinked, cache journal flushed and closed).
+
+    {b Robustness} (docs/ROBUSTNESS.md).  Replies are written with an
+    explicit short-write-safe loop, so a tiny send buffer — real or
+    injected by a {!Chaos} plan — only slows a reply, never corrupts it.
+    With [max_queue], batches deeper than the bound are refused at
+    admission with typed ["overload"] responses ([service.
+    overload_rejections] counts them) instead of holding every caller
+    hostage to the slowest computation.  With [chaos], batch replies and
+    journal appends pass through the engine's injectors; an injected
+    {!Chaos.Server_crash} unwinds through [serve]'s cleanup (fds closed,
+    socket unlinked, handlers restored) and is caught by {!supervise},
+    which rebuilds the executor — reloading the cache from its journal —
+    and binds a fresh generation.  Because the journal append happens
+    before the reply is written, an acknowledged result is always durable
+    across such a crash. *)
 
 type stats = {
-  served : int;  (** requests answered (control lines excluded). *)
+  served : int;  (** requests answered (control lines and overload refusals excluded). *)
   batches : int;  (** coalesced batches drained. *)
   clients : int;  (** connections accepted over the server's lifetime. *)
 }
+
+val write_line : Unix.file_descr -> Lb_observe.Json.t -> unit
+(** Write one newline-terminated JSON line, looping until every byte is
+    written ([Unix.single_write] can stop short on nonblocking or
+    small-buffer fds).  Swallows [Unix_error] — a vanished peer drops the
+    line.  Exposed for tests and for tools speaking the wire protocol. *)
 
 val serve :
   socket:string ->
   executor:Executor.t ->
   ?max_requests:int ->
+  ?chaos:Chaos.engine ->
+  ?max_queue:int ->
   ?log:(string -> unit) ->
   unit ->
   stats
 (** Bind [socket] (an existing socket file is replaced), serve until a
     [shutdown] op, a signal, or — when [max_requests] is given — until
-    that many requests have been answered.  [log] receives one-line
-    progress notes (default: silent). *)
+    that many requests have been answered.  [chaos] interposes the engine
+    on batch replies (control replies are exempt); [max_queue] (≥ 1, else
+    [Invalid_argument]) arms admission control.  [log] receives one-line
+    progress notes (default: silent).  May raise {!Chaos.Server_crash}
+    (after restoring fds, socket file and signal handlers) — callers
+    wanting recovery use {!supervise}. *)
+
+type supervised = {
+  last : stats;  (** the generation that exited cleanly. *)
+  recoveries : int;  (** crashes recovered from (= restarts performed). *)
+}
+
+val supervise :
+  socket:string ->
+  executor_of:(unit -> Executor.t) ->
+  ?max_requests:int ->
+  ?max_restarts:int ->
+  ?chaos:Chaos.engine ->
+  ?max_queue:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  supervised
+(** Run {!serve} generations until one exits cleanly, restarting on
+    {!Chaos.Server_crash}: the crashed generation's cache journal is
+    closed, [service.recoveries] is bumped, a [Service] recovery event is
+    recorded, and [executor_of ()] builds the next generation's executor —
+    typically {!Cache.create} on the same journal path (reloading every
+    durable entry, including the acknowledged results of the crashed
+    generation) followed by {!Cache.compact}.  [max_restarts] (default
+    100) bounds the crash loop; exceeding it raises [Failure].
+    [max_requests] applies per generation.  The same [chaos] engine
+    should be threaded through both [serve] and the caches [executor_of]
+    builds, so occurrence counters span restarts — a plan that crashes at
+    reply #2 fires once, not once per generation. *)

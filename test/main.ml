@@ -19,5 +19,6 @@ let () =
       ("exec", Suite_exec.suite);
       ("experiments", Suite_experiments.suite);
       ("service", Suite_service.suite);
+      ("chaos", Suite_chaos.suite);
       ("conformance", Suite_conformance.suite);
     ]

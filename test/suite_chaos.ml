@@ -1,0 +1,190 @@
+(* Chaos subsystem tests: the plan grammar, the seeded engine's
+   determinism, and the drills themselves — every drill green at the CI
+   seed, and the negative controls pinned red, so we know the drills can
+   fail.  The drills boot real servers in domains, so the whole suite is
+   [`Slow] apart from the pure grammar/engine cases. *)
+
+open Lb_service
+module Json = Lb_observe.Json
+module Metrics = Lb_observe.Metrics
+
+(* ---- the plan grammar ---- *)
+
+let t_grammar_roundtrip () =
+  List.iter
+    (fun name ->
+      match Chaos.of_name name with
+      | Some plan ->
+        Alcotest.(check string)
+          (Printf.sprintf "%S resolves to itself" name)
+          (Chaos.name (List.assoc name Chaos.named))
+          (Chaos.name plan)
+      | None -> Alcotest.fail (Printf.sprintf "named plan %S did not parse" name))
+    Chaos.plan_names;
+  Alcotest.(check bool) "unknown plans are None, not exceptions" true
+    (Chaos.of_name "voltage-spike" = None);
+  Alcotest.(check bool) "empty string is not a plan" true (Chaos.of_name "" = None)
+
+let t_grammar_compose () =
+  match Chaos.of_name "drop+garble" with
+  | None -> Alcotest.fail "'+'-joined plans must compose"
+  | Some plan ->
+    let kinds =
+      List.map
+        (fun i -> Format.asprintf "%a" Chaos.pp_injector i)
+        (Chaos.injectors plan)
+    in
+    Alcotest.(check int) "both constituents present" 2 (List.length kinds);
+    Alcotest.(check bool) "drop then garble, in order" true
+      (match kinds with [ d; g ] -> (String.length d > 0) && String.length g > 0 | _ -> false)
+
+let t_constructors_validate () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "short_write rejects max_bytes < 1" true
+    (raises (fun () -> Chaos.short_write ~max_bytes:0));
+  Alcotest.(check bool) "occurrence lists are 1-based" true
+    (raises (fun () -> Chaos.drop_reply ~at:[ 0 ]));
+  Alcotest.(check bool) "occurrence lists are non-empty" true
+    (raises (fun () -> Chaos.garble_reply ~at:[]));
+  Alcotest.(check bool) "delays are positive" true
+    (raises (fun () -> Chaos.delay_reply ~at:[ 1 ] ~delay_s:0.0))
+
+(* ---- the seeded engine ---- *)
+
+(* Identical seed + identical reply stream ⇒ identical actions, garbled
+   bytes included.  This is what makes a failing drill replayable. *)
+let t_engine_deterministic () =
+  Metrics.with_registry (Metrics.create ()) (fun () ->
+      let plan =
+        Chaos.compose
+          [
+            Chaos.short_write ~max_bytes:8;
+            Chaos.drop_reply ~at:[ 2 ];
+            Chaos.garble_reply ~at:[ 3; 5 ];
+            Chaos.delay_reply ~at:[ 4 ] ~delay_s:0.01;
+          ]
+      in
+      let lines = List.init 6 (fun i -> Printf.sprintf "{\"reply\":%d,\"pad\":\"xxxx\"}" i) in
+      let trace engine =
+        List.map
+          (fun line ->
+            let act = Chaos.on_reply engine line in
+            (act.Chaos.data, act.Chaos.delay_s, act.Chaos.crash_after))
+          lines
+      in
+      let e1 = Chaos.instantiate ~seed:42 plan and e2 = Chaos.instantiate ~seed:42 plan in
+      let r1 = trace e1 and r2 = trace e2 in
+      Alcotest.(check bool) "same seed, same actions (garbling included)" true (r1 = r2);
+      Alcotest.(check int) "same injection count" (Chaos.injections e1) (Chaos.injections e2);
+      Alcotest.(check bool) "the plan fired" true (Chaos.injections e1 > 0);
+      (* A different seed must still drop/delay at the same occurrences —
+         only the random garble bytes may move. *)
+      let e3 = Chaos.instantiate ~seed:43 plan in
+      let r3 = trace e3 in
+      Alcotest.(check bool) "occurrence schedule is seed-independent" true
+        (List.for_all2
+           (fun (d1, s1, c1) (d3, s3, c3) ->
+             Option.is_some d1 = Option.is_some d3 && s1 = s3 && c1 = c3)
+           r1 r3))
+
+let t_engine_write_cap () =
+  let e = Chaos.instantiate (Chaos.compose [ Chaos.short_write ~max_bytes:8 ]) in
+  Alcotest.(check (option int)) "cap surfaces to the writer" (Some 8) (Chaos.write_cap e);
+  let e' = Chaos.instantiate (Chaos.drop_reply ~at:[ 1 ]) in
+  Alcotest.(check (option int)) "no cap without short-write" None (Chaos.write_cap e')
+
+let t_engine_journal_truncate () =
+  Metrics.with_registry (Metrics.create ()) (fun () ->
+      let e = Chaos.instantiate (Chaos.truncate_journal ~at:[ 2 ]) in
+      let line = "{\"key\":\"k\",\"response\":{\"v\":1}}" in
+      (match Chaos.on_journal e line with
+      | `Line -> ()
+      | `Partial_then_crash _ -> Alcotest.fail "append #1 should pass through");
+      match Chaos.on_journal e line with
+      | `Partial_then_crash prefix ->
+        Alcotest.(check bool) "a strict, non-empty prefix is written" true
+          (String.length prefix > 0
+          && String.length prefix < String.length line
+          && String.sub line 0 (String.length prefix) = prefix)
+      | `Line -> Alcotest.fail "append #2 must be torn")
+
+(* ---- the drills ---- *)
+
+let t_drills_all_green () =
+  List.iter
+    (fun name ->
+      match Drill.run ~seed:1 name with
+      | Error msg -> Alcotest.fail msg
+      | Ok report ->
+        if not report.Drill.passed then
+          Alcotest.fail
+            (Format.asprintf "drill %s failed:@ %a" name Drill.pp_report report);
+        Alcotest.(check bool)
+          (Printf.sprintf "drill %s did real work" name)
+          true
+          (report.Drill.requests > 0 && report.Drill.acked > 0))
+    Drill.names
+
+(* Negative controls: each robustness mechanism, when disabled, must turn
+   at least one drill red.  A drill suite that cannot fail proves
+   nothing. *)
+let t_drill_fails_without_retries () =
+  match Drill.run ~seed:1 ~retry_attempts:1 "drop-connection" with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    Alcotest.(check bool) "no retry budget ⇒ dropped replies are fatal" false
+      report.Drill.passed
+
+let t_drill_fails_without_supervision () =
+  match Drill.run ~seed:1 ~supervise:false "crash-mid-batch" with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    Alcotest.(check bool) "no supervisor ⇒ a crash ends the service" false
+      report.Drill.passed
+
+let t_drill_unknown_name () =
+  match Drill.run "seagull-attack" with
+  | Error msg ->
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "the error names the roster" true
+      (List.for_all (contains msg) Drill.names)
+  | Ok _ -> Alcotest.fail "unknown drills must be typed errors"
+
+(* Same drill, same seed ⇒ the same report, wall-clock aside.  This is the
+   replayability contract `lowerbound chaos --seed` advertises. *)
+let t_drill_seed_replay () =
+  let strip json =
+    match json with
+    | Json.Obj fields -> Json.Obj (List.remove_assoc "elapsed_s" fields)
+    | other -> other
+  in
+  match (Drill.run ~seed:7 "garble", Drill.run ~seed:7 "garble") with
+  | Ok a, Ok b ->
+    Alcotest.(check string) "reports replay byte-for-byte"
+      (Json.to_string (strip (Drill.report_json a)))
+      (Json.to_string (strip (Drill.report_json b)))
+  | _ -> Alcotest.fail "garble drill failed to run"
+
+let suite =
+  [
+    Alcotest.test_case "grammar: named plans round-trip" `Quick t_grammar_roundtrip;
+    Alcotest.test_case "grammar: '+' composes plans" `Quick t_grammar_compose;
+    Alcotest.test_case "grammar: constructors validate their arguments" `Quick
+      t_constructors_validate;
+    Alcotest.test_case "engine: seeded actions are deterministic" `Quick
+      t_engine_deterministic;
+    Alcotest.test_case "engine: write cap surfaces to the server" `Quick t_engine_write_cap;
+    Alcotest.test_case "engine: journal appends are torn on schedule" `Quick
+      t_engine_journal_truncate;
+    Alcotest.test_case "drills: the full roster is green at seed 1" `Slow t_drills_all_green;
+    Alcotest.test_case "drills: dropping the retry budget fails drop-connection" `Slow
+      t_drill_fails_without_retries;
+    Alcotest.test_case "drills: disabling supervision fails crash-mid-batch" `Slow
+      t_drill_fails_without_supervision;
+    Alcotest.test_case "drills: unknown names are typed errors" `Quick t_drill_unknown_name;
+    Alcotest.test_case "drills: seed replay reproduces the report" `Slow t_drill_seed_replay;
+  ]

@@ -162,7 +162,7 @@ let test_event_kinds () =
   Alcotest.(check (list string))
     "kinds"
     [ "access"; "toss"; "sched"; "round"; "crash"; "recovery"; "invoke"; "complete";
-      "give-up"; "end" ]
+      "give-up"; "end"; "service" ]
     Event.kinds
 
 (* ---- tracer ---- *)

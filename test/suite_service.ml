@@ -35,6 +35,9 @@ let gen_request =
            let* ops = 1 -- 3 in
            let* seed = 0 -- 99 in
            return (Request.certify ~n ~ops ~seed ~target ~plan ()));
+          (let* tag = string_size ~gen:printable (1 -- 12) in
+           let* size = 0 -- 64 in
+           return (Request.echo ~size tag));
         ]
     in
     return (Request.with_jobs spec jobs))
@@ -357,7 +360,7 @@ let status_of json =
    and hand the test body a live socket.  The server domain gets a fresh
    metrics registry — the DLS default is one global registry, which the
    parent's earlier tests have already written service.* counts into. *)
-let with_toy_server ?(capacity = 64) body =
+let with_toy_server ?(capacity = 64) ?chaos ?max_queue body =
   let tmp = Filename.temp_file "lbsvc_srv" "" in
   Sys.remove tmp;
   let socket = tmp ^ ".sock" in
@@ -368,7 +371,7 @@ let with_toy_server ?(capacity = 64) body =
               let cache = Cache.create ~capacity () in
               let calls = ref 0 in
               let executor = Executor.create ~cache ~compute:(counting_compute calls) () in
-              ignore (Server.serve ~socket ~executor ()))
+              ignore (Server.serve ~socket ~executor ?chaos ?max_queue ()))
         with _ -> ())
   in
   let finally () =
@@ -571,6 +574,297 @@ let t_client_garbage_fuzz () =
             (Printf.sprintf "client raised %s on reply %S" (Printexc.to_string e) reply))
   done
 
+(* ---- robustness satellites: short writes, torn journals, retries ---- *)
+
+(* Regression for the short-write bug: write_line must deliver a reply far
+   larger than the socket's send buffer intact, however many write
+   syscalls that takes.  A concurrent reader domain drains the other end
+   so the blocking writes can make progress. *)
+let t_write_line_short_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  let blob = String.concat "" (List.init 8000 (fun i -> Printf.sprintf "x%d" i)) in
+  let json = Json.Obj [ ("status", Json.Str "ok"); ("blob", Json.Str blob) ] in
+  let expected = Json.to_string json ^ "\n" in
+  let reader =
+    Domain.spawn (fun () ->
+        let buf = Buffer.create (String.length expected) in
+        let bytes = Bytes.create 65536 in
+        let rec go () =
+          if Buffer.length buf < String.length expected then
+            match Unix.read b bytes 0 (Bytes.length bytes) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf bytes 0 n;
+              go ()
+        in
+        go ();
+        Buffer.contents buf)
+  in
+  Server.write_line a json;
+  Unix.close a;
+  let got = Domain.join reader in
+  Unix.close b;
+  Alcotest.(check int) "every byte delivered" (String.length expected) (String.length got);
+  Alcotest.(check bool) "byte-identical line" true (String.equal got expected)
+
+(* Property: tearing the journal's final record (a crash mid-append) loses
+   at most that one record — every earlier entry reloads, nothing raises,
+   and the survivor still accepts appends. *)
+let t_cache_truncated_tail =
+  prop ~count:50 "torn final journal record loses at most that record"
+    (QCheck.make
+       QCheck.Gen.(
+         let* payloads = list_size (1 -- 5) gen_payload in
+         let* cut = 2 -- 10_000 in
+         return (payloads, cut)))
+    (fun (payloads, cut) ->
+      with_temp_file (fun path ->
+          Sys.remove path;
+          let cache = Cache.create ~path ~fsync:true () in
+          List.iteri
+            (fun i p -> Cache.store cache ~key:(Printf.sprintf "k%d" i) ~request:Json.Null p)
+            payloads;
+          Cache.sync cache;
+          Cache.close cache;
+          let contents = In_channel.with_open_bin path In_channel.input_all in
+          let len = String.length contents in
+          (* Bytes of the final record including its newline. *)
+          let last_line_len =
+            match String.rindex_from_opt contents (len - 2) '\n' with
+            | Some nl -> len - nl - 1
+            | None -> len
+          in
+          (* Tear off the trailing newline plus at least one byte of the
+             record — possibly the whole record. *)
+          let torn = 2 + (cut mod (max 1 (last_line_len - 1))) in
+          Unix.truncate path (max 0 (len - torn));
+          let n = List.length payloads in
+          let reloaded = Cache.create ~path () in
+          let earlier_ok =
+            List.for_all
+              (fun i ->
+                Cache.find reloaded (Printf.sprintf "k%d" i)
+                = Some (List.nth payloads i))
+              (List.init (n - 1) Fun.id)
+          in
+          let corrupt_ok = Cache.corrupt reloaded <= 1 in
+          (* The survivor must still journal appends cleanly. *)
+          Cache.store reloaded ~key:"fresh" ~request:Json.Null payload_a;
+          Cache.close reloaded;
+          let again = Cache.create ~path () in
+          let append_ok = Cache.find again "fresh" = Some payload_a in
+          Cache.close again;
+          earlier_ok && corrupt_ok && append_ok))
+
+let t_cache_snapshot_compact () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let cache = Cache.create ~capacity:2 ~path () in
+      Cache.store cache ~key:"a" ~request:(Json.Str "ra") payload_a;
+      Cache.store cache ~key:"b" ~request:(Json.Str "rb") payload_b;
+      Cache.store cache ~key:"a" ~request:(Json.Str "ra") payload_c;
+      ignore (Cache.find cache "a");
+      (* "b" is LRU; "c" evicts it.  The journal now holds 4 lines for 2
+         live entries — exactly the dead weight compaction drops. *)
+      Cache.store cache ~key:"c" ~request:(Json.Str "rc") payload_b;
+      let snapshot = Json.to_string (Cache.snapshot_json cache) in
+      Alcotest.(check bool) "snapshot is key-sorted live entries" true
+        (Cache.snapshot cache = [ ("a", payload_c); ("c", payload_b) ]);
+      Cache.compact cache;
+      let lines =
+        In_channel.with_open_bin path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "compacted journal: one line per live entry" 2 (List.length lines);
+      (* Compaction must not break the append channel. *)
+      Cache.store cache ~key:"d" ~request:(Json.Str "rd") payload_a;
+      Cache.close cache;
+      let reloaded = Cache.create ~capacity:4 ~path () in
+      Alcotest.(check int) "no corruption after compact+append" 0 (Cache.corrupt reloaded);
+      Alcotest.(check bool) "post-compact reload serves the snapshot" true
+        (Cache.find reloaded "a" = Some payload_c && Cache.find reloaded "d" = Some payload_a);
+      Cache.close reloaded;
+      ignore snapshot)
+
+let t_backoff_schedule () =
+  let r = { Client.default_retry with Client.seed = 7 } in
+  List.iter
+    (fun k ->
+      let d1 = Client.backoff_s r ~failures:k and d2 = Client.backoff_s r ~failures:k in
+      Alcotest.(check (float 0.0)) "deterministic in (policy, failures)" d1 d2;
+      let base =
+        Float.min r.Client.max_delay_s
+          (r.Client.base_delay_s *. (r.Client.multiplier ** float_of_int (k - 1)))
+      in
+      let lo = base *. (1.0 -. (r.Client.jitter /. 2.0))
+      and hi = base *. (1.0 +. (r.Client.jitter /. 2.0)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "failure %d within the jitter band" k)
+        true
+        (d1 >= lo -. 1e-9 && d1 <= hi +. 1e-9))
+    [ 1; 2; 3; 4; 5; 6; 10 ];
+  let r' = { r with Client.seed = 8 } in
+  Alcotest.(check bool) "seed moves the schedule" true
+    (List.exists
+       (fun k -> Client.backoff_s r ~failures:k <> Client.backoff_s r' ~failures:k)
+       [ 1; 2; 3; 4; 5 ])
+
+(* A fake server that misbehaves differently on successive connections:
+   one accept + script per expected client attempt. *)
+let with_fake_server_seq scripts body =
+  let tmp = Filename.temp_file "lbsvc_fakeseq" "" in
+  Sys.remove tmp;
+  let socket = tmp ^ ".sock" in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 8;
+  let server =
+    Domain.spawn (fun () ->
+        List.iter
+          (fun script ->
+            match Unix.accept listener with
+            | fd, _ ->
+              let bytes = Bytes.create 4096 in
+              let rec drain () =
+                match Unix.read fd bytes 0 (Bytes.length bytes) with
+                | 0 -> ()
+                | n -> if not (Bytes.contains (Bytes.sub bytes 0 n) '\n') then drain ()
+                | exception Unix.Unix_error _ -> ()
+              in
+              drain ();
+              (try script fd with _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            | exception _ -> ())
+          scripts)
+  in
+  let finally () =
+    Domain.join server;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    if Sys.file_exists socket then Sys.remove socket
+  in
+  Fun.protect ~finally (fun () -> body socket)
+
+let fast_retry attempts =
+  { Client.default_retry with Client.attempts; base_delay_s = 0.01; max_delay_s = 0.05 }
+
+(* The retrying client survives a garbled line, then a dropped connection,
+   and lands on the third attempt — with exactly two retries recorded. *)
+let t_client_retry_recovers () =
+  let registry = Metrics.create () in
+  Metrics.with_registry registry (fun () ->
+      with_fake_server_seq
+        [
+          (fun fd -> raw fd "}}}garbled\n");
+          (fun _fd -> ());
+          (fun fd -> raw fd "{\"status\":\"ok\"}\n");
+        ]
+        (fun socket ->
+          match Client.call_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 4) [ ping ] with
+          | Ok [ reply ] -> Alcotest.(check string) "third attempt lands" "ok" (status_of reply)
+          | Ok _ -> Alcotest.fail "wrong reply arity"
+          | Error e -> Alcotest.fail ("retry should have recovered: " ^ Client.error_message e)));
+  Alcotest.(check int) "two retries recorded" 2
+    (Metrics.counter_value registry "service.retries")
+
+let t_client_retry_overload () =
+  (* One overload refusal, then served: call_retry backs off and recovers. *)
+  with_fake_server_seq
+    [
+      (fun fd -> raw fd "{\"status\":\"overload\",\"retry_after_s\":0.05}\n");
+      (fun fd -> raw fd "{\"status\":\"ok\"}\n");
+    ]
+    (fun socket ->
+      match Client.call_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 3) [ ping ] with
+      | Ok [ reply ] -> Alcotest.(check string) "served after backoff" "ok" (status_of reply)
+      | Ok _ | Error _ -> Alcotest.fail "expected recovery after one overload");
+  (* Refused every time: the typed Overload surfaces once the budget is spent. *)
+  with_fake_server_seq
+    [
+      (fun fd -> raw fd "{\"status\":\"overload\",\"retry_after_s\":0.05}\n");
+      (fun fd -> raw fd "{\"status\":\"overload\",\"retry_after_s\":0.05}\n");
+    ]
+    (fun socket ->
+      match Client.call_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 2) [ ping ] with
+      | Error (Client.Overload { attempts }) -> Alcotest.(check int) "budget echoed" 2 attempts
+      | Error e -> Alcotest.fail ("expected Overload, got " ^ Client.error_message e)
+      | Ok _ -> Alcotest.fail "a permanently overloaded server cannot satisfy the call")
+
+let t_client_out_of_order_replies () =
+  (* Replies for a batch arriving in the wrong order are still accepted —
+     responses are keyed, and key-set validation is what the client pins. *)
+  let ra = Request.echo "ooo-a" and rb = Request.echo "ooo-b" in
+  with_fake_server
+    (fun fd ->
+      raw fd
+        (Printf.sprintf "{\"key\":%S,\"status\":\"ok\"}\n{\"key\":%S,\"status\":\"ok\"}\n"
+           (Request.key rb) (Request.key ra)))
+    (fun socket ->
+      match Client.request ~socket ~timeout_s:5.0 [ ra; rb ] with
+      | Ok replies -> Alcotest.(check int) "both keyed replies accepted" 2 (List.length replies)
+      | Error e -> Alcotest.fail ("expected acceptance: " ^ Client.error_message e))
+
+(* Idempotency under resends: a dropped reply forces a retry of an
+   already-executed request, and the cache — not a second execution —
+   serves it.  misses = 1 is the proof. *)
+let t_client_never_double_executes () =
+  let engine = Chaos.instantiate ~seed:3 (Chaos.drop_reply ~at:[ 1 ]) in
+  with_toy_server ~chaos:engine (fun socket ->
+      let req = Request.echo "idempotent" in
+      (match Client.request_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 5) [ req ] with
+      | Ok [ reply ] -> Alcotest.(check string) "recovered after drop" "ok" (status_of reply)
+      | Ok _ | Error _ -> Alcotest.fail "retry should recover the dropped reply");
+      (match Client.request_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 5) [ req ] with
+      | Ok [ reply ] -> Alcotest.(check string) "second call ok" "ok" (status_of reply)
+      | Ok _ | Error _ -> Alcotest.fail "second call should be a cache hit");
+      match Client.call ~socket ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
+      | Ok [ response ] ->
+        let counter name =
+          match
+            Option.bind (Json.member "data" response) (fun d ->
+                Option.bind (Json.member "counters" d) (fun c ->
+                    Option.bind (Json.member name c) Json.to_int_opt))
+          with
+          | Some v -> v
+          | None -> 0
+        in
+        Alcotest.(check int) "executed exactly once despite resends" 1
+          (counter "service.misses");
+        Alcotest.(check int) "resends served from the cache" 2 (counter "service.hits")
+      | Ok _ | Error _ -> Alcotest.fail "metrics fetch failed")
+
+let t_server_overload_backpressure () =
+  with_toy_server ~max_queue:1 (fun socket ->
+      let reqs = List.init 3 (fun i -> Request.echo (Printf.sprintf "ovl-%d" i)) in
+      (match Client.request ~socket ~timeout_s:5.0 reqs with
+      | Error e -> Alcotest.fail (Client.error_message e)
+      | Ok replies ->
+        let statuses = List.map status_of replies in
+        Alcotest.(check int) "every request answered" 3 (List.length replies);
+        Alcotest.(check bool) "the excess was refused, typed" true
+          (List.mem "overload" statuses);
+        Alcotest.(check bool) "the admitted prefix was served" true (List.mem "ok" statuses));
+      (* One at a time, the retrying client lands everything. *)
+      List.iter
+        (fun r ->
+          match Client.request_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 5) [ r ] with
+          | Ok [ reply ] -> Alcotest.(check string) "served" "ok" (status_of reply)
+          | Ok _ | Error _ -> Alcotest.fail "individual request should succeed")
+        reqs)
+
+let t_catalog_echo_deterministic () =
+  let req = Request.echo ~size:10 "tag" in
+  match (Catalog.compute ~jobs:1 req, Catalog.compute ~jobs:4 req) with
+  | Ok a, Ok b ->
+    Alcotest.(check string) "echo is jobs-invariant and deterministic" (Json.to_string a)
+      (Json.to_string b);
+    Alcotest.(check bool) "fill has the requested size" true
+      (match Option.bind (Json.member "fill" a) Json.to_str_opt with
+      | Some fill -> String.length fill = 10
+      | None -> false)
+  | _ -> Alcotest.fail "echo compute cannot fail"
+
 let suite =
   [
     Alcotest.test_case "request: distinct requests, distinct keys" `Quick
@@ -603,4 +897,23 @@ let suite =
     Alcotest.test_case "client: timeout and connect failures are typed" `Quick
       t_client_timeout_and_connect;
     Alcotest.test_case "client: garbage reply fuzz never raises" `Quick t_client_garbage_fuzz;
+    Alcotest.test_case "server: write_line survives a tiny send buffer" `Quick
+      t_write_line_short_writes;
+    t_cache_truncated_tail;
+    Alcotest.test_case "cache: snapshot + compact keep only live entries" `Quick
+      t_cache_snapshot_compact;
+    Alcotest.test_case "client: backoff is deterministic and jitter-bounded" `Quick
+      t_backoff_schedule;
+    Alcotest.test_case "client: retry recovers across misbehaving connections" `Quick
+      t_client_retry_recovers;
+    Alcotest.test_case "client: overload refusals are retried, then typed" `Quick
+      t_client_retry_overload;
+    Alcotest.test_case "client: out-of-order keyed replies are accepted" `Quick
+      t_client_out_of_order_replies;
+    Alcotest.test_case "client: resends never double-execute (cache proves it)" `Quick
+      t_client_never_double_executes;
+    Alcotest.test_case "server: admission control refuses the excess, typed" `Quick
+      t_server_overload_backpressure;
+    Alcotest.test_case "catalog: echo payloads are deterministic" `Quick
+      t_catalog_echo_deterministic;
   ]
