@@ -297,6 +297,7 @@ let chaos_bench () =
       base
     in
     let socket = Filename.concat dir "sock" in
+    let transport = Transport.Unix_socket socket in
     let engine = Option.map (Chaos.instantiate ~seed:1) plan in
     let srv_reg = Metrics.create () in
     let server =
@@ -305,13 +306,13 @@ let chaos_bench () =
               let executor_of () =
                 Executor.create ~cache:(Cache.create ~capacity:256 ()) ~compute:Catalog.compute ()
               in
-              try ignore (Server.supervise ~socket ~executor_of ?chaos:engine ())
+              try ignore (Server.supervise ~transport ~executor_of ?chaos:engine ())
               with _ -> ()))
     in
     let cli_reg = Metrics.create () in
     let elapsed =
       Metrics.with_registry cli_reg (fun () ->
-          if not (Client.wait_ready ~socket ()) then
+          if not (Client.wait_ready ~transport ()) then
             failwith "chaos bench: server never became ready";
           let retry =
             { Client.default_retry with
@@ -322,7 +323,7 @@ let chaos_bench () =
             let req =
               Request.echo ~size:512 (Printf.sprintf "bench-%s-%d" label (i mod 16))
             in
-            match Client.request_retry ~socket ~timeout_s:5.0 ~retry [ req ] with
+            match Client.request_retry ~transport ~timeout_s:5.0 ~retry [ req ] with
             | Ok [ _ ] -> ()
             | Ok _ | Error _ ->
               failures :=
@@ -333,7 +334,7 @@ let chaos_bench () =
     let rec stop k =
       if k > 0 then
         match
-          Client.call ~socket ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ]
+          Client.call ~transport ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ]
         with
         | Ok _ -> ()
         | Error _ ->

@@ -1,7 +1,7 @@
 open Lb_observe
 
 type error =
-  | Connect of { socket : string; reason : string }
+  | Connect of { address : string; reason : string }
   | Send of string
   | Timeout of float
   | Closed
@@ -12,7 +12,7 @@ type error =
 let clip line = if String.length line <= 120 then line else String.sub line 0 117 ^ "..."
 
 let error_message = function
-  | Connect { socket; reason } -> Printf.sprintf "cannot connect to %s: %s" socket reason
+  | Connect { address; reason } -> Printf.sprintf "cannot connect to %s: %s" address reason
   | Send reason -> Printf.sprintf "send failed: %s" reason
   | Timeout s -> Printf.sprintf "timed out after %.1fs" s
   | Closed -> "server closed the connection early"
@@ -25,17 +25,13 @@ let error_message = function
 
 let pp_error ppf e = Format.pp_print_string ppf (error_message e)
 
-let call ~socket ?(timeout_s = 60.0) lines =
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Connect { socket; reason = Unix.error_message e })
-  | fd -> (
+let call ~transport ?(timeout_s = 60.0) lines =
+  match Transport.connect transport with
+  | Error reason ->
+    Error (Connect { address = Transport.to_string transport; reason })
+  | Ok fd -> (
     let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | exception Unix.Unix_error (e, _, _) ->
-      finally ();
-      Error (Connect { socket; reason = Unix.error_message e })
-    | () -> (
+    (
       let payload =
         String.concat "" (List.map (fun json -> Json.to_string json ^ "\n") lines)
       in
@@ -106,8 +102,8 @@ let validate_keys ~requests replies =
     Error (Unknown_key { key; line = Json.to_string reply })
   | None -> Ok replies
 
-let request ~socket ?timeout_s requests =
-  match call ~socket ?timeout_s (List.map Request.to_json requests) with
+let request ~transport ?timeout_s requests =
+  match call ~transport ?timeout_s (List.map Request.to_json requests) with
   | Error e -> Error e
   | Ok replies -> validate_keys ~requests replies
 
@@ -143,14 +139,14 @@ let is_overload reply =
   | Some "overload" -> true
   | _ -> false
 
-let call_retry ~socket ?timeout_s ?(retry = default_retry) lines =
+let call_retry ~transport ?timeout_s ?(retry = default_retry) lines =
   if retry.attempts < 1 then invalid_arg "Client.call_retry: retry.attempts < 1";
   (* Safe to resend wholesale: request keys are content hashes, so a
      repeated line is a cache hit (or an in-flight dedup), never a second
      execution — pinned by the never-double-executes test. *)
   let rec attempt k =
     let outcome =
-      match call ~socket ?timeout_s lines with
+      match call ~transport ?timeout_s lines with
       | Ok replies when List.exists is_overload replies ->
         Stdlib.Error (Overload { attempts = k })
       | (Ok _ | Error _) as r -> r
@@ -171,17 +167,17 @@ let call_retry ~socket ?timeout_s ?(retry = default_retry) lines =
   in
   attempt 1
 
-let request_retry ~socket ?timeout_s ?retry requests =
-  match call_retry ~socket ?timeout_s ?retry (List.map Request.to_json requests) with
+let request_retry ~transport ?timeout_s ?retry requests =
+  match call_retry ~transport ?timeout_s ?retry (List.map Request.to_json requests) with
   | Error e -> Error e
   | Ok replies -> validate_keys ~requests replies
 
-let wait_ready ~socket ?(attempts = 100) ?(interval_s = 0.05) () =
+let wait_ready ~transport ?(attempts = 100) ?(interval_s = 0.05) () =
   let ping = Json.Obj [ ("op", Json.Str "ping") ] in
   let rec go k =
     if k = 0 then false
     else
-      match call ~socket ~timeout_s:1.0 [ ping ] with
+      match call ~transport ~timeout_s:1.0 [ ping ] with
       | Ok _ -> true
       | Error _ ->
         Unix.sleepf interval_s;

@@ -23,7 +23,8 @@
 open Lb_observe
 
 type error =
-  | Connect of { socket : string; reason : string }
+  | Connect of { address : string; reason : string }
+      (** [address] is the transport's {!Transport.to_string}. *)
   | Send of string
   | Timeout of float  (** the configured deadline, in seconds. *)
   | Closed  (** the server closed the connection before every reply. *)
@@ -40,14 +41,15 @@ val error_message : error -> string
 val pp_error : Format.formatter -> error -> unit
 
 val call :
-  socket:string -> ?timeout_s:float -> Json.t list -> (Json.t list, error) result
-(** Send the lines, await as many responses ([timeout_s] defaults to 60
-    seconds of total wall-clock).  An incomplete trailing line at the point
-    the expected reply count is reached is ignored — only complete
+  transport:Transport.t -> ?timeout_s:float -> Json.t list -> (Json.t list, error) result
+(** Dial [transport] (Unix socket or TCP, {!Transport.connect}), send the
+    lines, await as many responses ([timeout_s] defaults to 60 seconds of
+    total wall-clock).  An incomplete trailing line at the point the
+    expected reply count is reached is ignored — only complete
     (newline-terminated) lines count as replies. *)
 
 val request :
-  socket:string -> ?timeout_s:float -> Request.t list -> (Json.t list, error) result
+  transport:Transport.t -> ?timeout_s:float -> Request.t list -> (Json.t list, error) result
 (** {!call} on the canonical serialisations, then validate that every
     keyed reply's ["key"] belongs to the batch ([Unknown_key] otherwise).
     Replies arrive in request order. *)
@@ -77,7 +79,7 @@ val backoff_s : retry -> failures:int -> float
     the seeded jitter.  Pure — exposed so tests can pin the schedule. *)
 
 val call_retry :
-  socket:string ->
+  transport:Transport.t ->
   ?timeout_s:float ->
   ?retry:retry ->
   Json.t list ->
@@ -90,7 +92,7 @@ val call_retry :
     {!Overload}) is returned. *)
 
 val request_retry :
-  socket:string ->
+  transport:Transport.t ->
   ?timeout_s:float ->
   ?retry:retry ->
   Request.t list ->
@@ -98,7 +100,8 @@ val request_retry :
 (** {!request} with {!call_retry} underneath: retries, then validates
     reply keys against the batch. *)
 
-val wait_ready : socket:string -> ?attempts:int -> ?interval_s:float -> unit -> bool
+val wait_ready :
+  transport:Transport.t -> ?attempts:int -> ?interval_s:float -> unit -> bool
 (** Poll until a [ping] round-trips (true) or [attempts] (default 100)
     spaced [interval_s] (default 0.05 s) are exhausted (false) — for
     scripts that just started a server in the background. *)

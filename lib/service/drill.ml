@@ -3,6 +3,7 @@ open Lb_observe
 type report = {
   drill : string;
   seed : int;
+  transport : string;
   passed : bool;
   failures : string list;
   requests : int;
@@ -81,7 +82,7 @@ let clean_run spec ~seed =
   in
   (map, Json.to_string (Cache.snapshot_json cache))
 
-let run_spec spec ~seed ~retry_attempts ~supervise =
+let run_spec spec ~seed ~retry_attempts ~supervise ~transport:kind =
   let t0 = Unix.gettimeofday () in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt in
@@ -97,6 +98,16 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
   in
   let socket = Filename.concat dir "sock" in
   let journal = Filename.concat dir "journal.jsonl" in
+  (* TCP drills listen on an ephemeral loopback port; the [ready] callback
+     publishes the kernel-resolved address to the client side, so drills
+     never guess (or collide on) port numbers. *)
+  let listen =
+    match kind with
+    | `Unix -> Transport.Unix_socket socket
+    | `Tcp -> Transport.Tcp { host = "127.0.0.1"; port = 0 }
+  in
+  let resolved = Atomic.make None in
+  let ready t = Atomic.set resolved (Some t) in
   let engine = Chaos.instantiate ~seed spec.plan in
   let executor_of () =
     let cache = Cache.create ~capacity:64 ~path:journal ~fsync:true ~chaos:engine () in
@@ -112,13 +123,13 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
             try
               if supervise then
                 Stdlib.Ok
-                  (Server.supervise ~socket ~executor_of ~max_restarts:10 ~chaos:engine
-                     ?max_queue:spec.max_queue ())
+                  (Server.supervise ~transport:listen ~executor_of ~max_restarts:10
+                     ~chaos:engine ?max_queue:spec.max_queue ~ready ())
               else
                 Stdlib.Ok
                   (let stats =
-                     Server.serve ~socket ~executor:(executor_of ()) ~chaos:engine
-                       ?max_queue:spec.max_queue ()
+                     Server.serve ~transport:listen ~executor:(executor_of ())
+                       ~chaos:engine ?max_queue:spec.max_queue ~ready ()
                    in
                    { Server.last = stats; recoveries = 0 })
             with exn -> Stdlib.Error (Printexc.to_string exn)))
@@ -127,7 +138,24 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
     { Client.attempts = retry_attempts; base_delay_s = 0.05; multiplier = 2.0;
       max_delay_s = 0.3; jitter = 0.25; seed }
   in
-  if not (Client.wait_ready ~socket ()) then fail "server never became ready";
+  let rec await_bound k =
+    match Atomic.get resolved with
+    | Some t -> Some t
+    | None ->
+      if k = 0 then None
+      else begin
+        Unix.sleepf 0.01;
+        await_bound (k - 1)
+      end
+  in
+  let transport =
+    match await_bound 500 with
+    | Some t -> t
+    | None ->
+      fail "server never bound its transport";
+      listen
+  in
+  if not (Client.wait_ready ~transport ()) then fail "server never became ready";
   (* The overload drill first floods one batch past the admission bound:
      the typed Overload must surface once the budget is spent — requests
      terminate, they do not hang. *)
@@ -138,7 +166,7 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
             (Printf.sprintf "drill-%s-s%d-%d" spec.dname seed i))
     in
     match
-      Client.request_retry ~socket ~timeout_s:spec.client_timeout_s
+      Client.request_retry ~transport ~timeout_s:spec.client_timeout_s
         ~retry:{ retry with Client.attempts = 3 }
         batch
     with
@@ -153,7 +181,7 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
     (fun req ->
       incr requests;
       let key = Request.key req in
-      match Client.request_retry ~socket ~timeout_s:spec.client_timeout_s ~retry [ req ] with
+      match Client.request_retry ~transport ~timeout_s:spec.client_timeout_s ~retry [ req ] with
       | Ok [ reply ] -> (
         match reply_status reply with
         | "ok" -> (
@@ -171,7 +199,7 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
     if k = 0 then fail "shutdown was never acknowledged"
     else
       match
-        Client.call ~socket ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ]
+        Client.call ~transport ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ]
       with
       | Ok _ -> ()
       | Error _ ->
@@ -209,6 +237,7 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
   {
     drill = spec.dname;
     seed;
+    transport = (match kind with `Unix -> "unix" | `Tcp -> "tcp");
     passed = failures = [];
     failures;
     requests = !requests;
@@ -222,7 +251,7 @@ let run_spec spec ~seed ~retry_attempts ~supervise =
 
 let find name = List.find_opt (fun s -> s.dname = name) specs
 
-let run ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) name =
+let run ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) ?(transport = `Unix) name =
   match find name with
   | None ->
     Stdlib.Error
@@ -232,13 +261,13 @@ let run ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) name =
        just this drill's client, not whatever the caller accumulated. *)
     Stdlib.Ok
       (Metrics.with_registry (Metrics.create ()) (fun () ->
-           run_spec spec ~seed ~retry_attempts ~supervise))
+           run_spec spec ~seed ~retry_attempts ~supervise ~transport))
 
-let run_all ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) () =
+let run_all ?(seed = 1) ?(retry_attempts = 8) ?(supervise = true) ?(transport = `Unix) () =
   List.map
     (fun spec ->
       Metrics.with_registry (Metrics.create ()) (fun () ->
-          run_spec spec ~seed ~retry_attempts ~supervise))
+          run_spec spec ~seed ~retry_attempts ~supervise ~transport))
     specs
 
 let report_json r =
@@ -246,6 +275,7 @@ let report_json r =
     [
       ("drill", Json.Str r.drill);
       ("seed", Json.Int r.seed);
+      ("transport", Json.Str r.transport);
       ("passed", Json.Bool r.passed);
       ("failures", Json.Arr (List.map (fun m -> Json.Str m) r.failures));
       ("requests", Json.Int r.requests);

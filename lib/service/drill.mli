@@ -3,9 +3,12 @@
     against a chaos-free clean run.
 
     One drill boots a supervised server ({!Server.supervise}) on a scratch
-    Unix socket with a scratch cache journal, under one {!Chaos} plan, and
-    pushes a fixed seeded workload of echo requests (duplicates included)
-    through the retrying client.  It then asserts the robustness
+    transport — a Unix socket by default, or (with [~transport:`Tcp]) an
+    ephemeral loopback TCP port resolved race-free through the server's
+    [ready] callback — with a scratch cache journal, under one {!Chaos}
+    plan, and pushes a fixed seeded workload of echo requests (duplicates
+    included) through the retrying client.  Every invariant below is
+    transport-independent: the same drill must pass over both.  It then asserts the robustness
     invariants of docs/ROBUSTNESS.md:
 
     - {e every} client request terminates — in an acknowledged payload
@@ -30,6 +33,7 @@
 type report = {
   drill : string;
   seed : int;
+  transport : string;  (** ["unix"] or ["tcp"]. *)
   passed : bool;
   failures : string list;  (** empty iff [passed]. *)
   requests : int;  (** workload requests sent (flood batch excluded). *)
@@ -46,12 +50,24 @@ val names : string list
     [crash-mid-batch], [journal-truncate], [overload]. *)
 
 val run :
-  ?seed:int -> ?retry_attempts:int -> ?supervise:bool -> string -> (report, string) result
+  ?seed:int ->
+  ?retry_attempts:int ->
+  ?supervise:bool ->
+  ?transport:[ `Unix | `Tcp ] ->
+  string ->
+  (report, string) result
 (** Run one drill by name ([Error] for an unknown one).  Defaults:
-    [seed = 1], [retry_attempts = 8], [supervise = true].  Runs inside a
-    fresh metrics registry, so [retries] counts exactly this drill. *)
+    [seed = 1], [retry_attempts = 8], [supervise = true],
+    [transport = `Unix].  Runs inside a fresh metrics registry, so
+    [retries] counts exactly this drill. *)
 
-val run_all : ?seed:int -> ?retry_attempts:int -> ?supervise:bool -> unit -> report list
+val run_all :
+  ?seed:int ->
+  ?retry_attempts:int ->
+  ?supervise:bool ->
+  ?transport:[ `Unix | `Tcp ] ->
+  unit ->
+  report list
 (** Every drill in roster order, each in its own registry. *)
 
 val report_json : report -> Lb_observe.Json.t

@@ -1,0 +1,93 @@
+(* Log-linear latency histogram.  Bucket 0 holds everything at or below
+   [v0]; bucket i (i >= 1) holds (v0 * ratio^(i-1), v0 * ratio^i]; the
+   last bucket absorbs the tail.  With v0 = 1 microsecond and ~4%
+   geometric spacing, 640 buckets span past an hour — every latency this
+   service can produce — at a relative quantile error bounded by the
+   spacing. *)
+
+let v0 = 1e-6
+let ratio = 1.04
+let log_ratio = log ratio
+let nbuckets = 640
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { buckets = Array.make nbuckets 0; count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let index v =
+  if v <= v0 then 0
+  else min (nbuckets - 1) (1 + int_of_float (log (v /. v0) /. log_ratio))
+
+let add t v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  t.buckets.(index v) <- t.buckets.(index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+
+(* The representative value of a bucket: its geometric midpoint, clamped
+   into the observed [min, max] so quantiles never stray outside the
+   data. *)
+let representative t i =
+  let mid = if i = 0 then v0 else v0 *. (ratio ** (float_of_int i -. 0.5)) in
+  Float.max t.min_v (Float.min t.max_v mid)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg (Printf.sprintf "Histogram.quantile: %g not in [0,1]" q);
+  if t.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    (* The extreme ranks are exact: bucket midpoints are approximations,
+       but the observed min and max are not. *)
+    if rank = 1 then t.min_v
+    else if rank = t.count then t.max_v
+    else begin
+    let seen = ref 0 and result = ref t.max_v in
+    (try
+       for i = 0 to nbuckets - 1 do
+         seen := !seen + t.buckets.(i);
+         if !seen >= rank then begin
+           result := representative t i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+    end
+  end
+
+let merge a b =
+  let out = create () in
+  Array.iteri (fun i n -> out.buckets.(i) <- n + b.buckets.(i)) a.buckets;
+  out.count <- a.count + b.count;
+  out.sum <- a.sum +. b.sum;
+  out.min_v <- Float.min a.min_v b.min_v;
+  out.max_v <- Float.max a.max_v b.max_v;
+  out
+
+let to_json t =
+  let q p = Lb_observe.Json.Float (quantile t p) in
+  Lb_observe.Json.Obj
+    [
+      ("count", Lb_observe.Json.Int t.count);
+      ("sum_s", Lb_observe.Json.Float t.sum);
+      ("min_s", Lb_observe.Json.Float (if t.count = 0 then 0.0 else t.min_v));
+      ("max_s", Lb_observe.Json.Float (if t.count = 0 then 0.0 else t.max_v));
+      ("mean_s", Lb_observe.Json.Float (if t.count = 0 then 0.0 else t.sum /. float_of_int t.count));
+      ("p50_s", q 0.5);
+      ("p90_s", q 0.9);
+      ("p99_s", q 0.99);
+      ("p999_s", q 0.999);
+    ]

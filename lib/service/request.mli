@@ -39,12 +39,16 @@ type spec =
           construction [target] on object type [otype] under fault plan
           [plan], every history linearizability-checked, counterexamples
           shrunk (see {!Lb_conformance.Fuzz.check_cell}). *)
-  | Echo of { tag : string; size : int }
-      (** A deterministic no-compute request: the response repeats [tag]
-          plus a [size]-byte fill derived from it.  The chaos drills and
-          the load generator use echoes as cheap, distinct, verifiable
-          cargo — every invariant about caching, journalling and retries
-          can be checked without paying for a real experiment. *)
+  | Echo of { tag : string; size : int; work : int }
+      (** A deterministic request: the response repeats [tag] plus a
+          [size]-byte fill derived from it, after [work] rounds of digest
+          chaining (each round one MD5 over the previous digest — a pure
+          CPU spin, [0] = free).  The chaos drills and the load generator
+          use echoes as cheap, distinct, verifiable cargo — every
+          invariant about caching, journalling and retries can be checked
+          without paying for a real experiment, and [work] dials in a
+          known per-miss compute cost so the sharding speedup is
+          measurable. *)
 
 type t = { spec : spec; jobs : int }
 
@@ -67,9 +71,10 @@ val conform :
 (** Defaults: [otype = "fetch-inc"], [plan = "none"], [n = 4], [ops = 4],
     [schedules = 200], [seed = 1], [jobs = 1]. *)
 
-val echo : ?size:int -> string -> t
-(** [echo tag] with a [size]-byte payload fill (default 0; raises
-    [Invalid_argument] when negative), [jobs = 1]. *)
+val echo : ?size:int -> ?work:int -> string -> t
+(** [echo tag] with a [size]-byte payload fill and [work] digest-chain
+    rounds (both default 0; raise [Invalid_argument] when negative),
+    [jobs = 1]. *)
 
 val with_jobs : t -> int -> t
 

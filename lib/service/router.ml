@@ -1,0 +1,446 @@
+open Lb_observe
+
+type stats = { forwarded : int; batches : int; clients : int; reconnects : int }
+
+(* One worker connection: dialed lazily, redialed on failure, with a
+   receive buffer for reply lines that persists across batches. *)
+type wire = {
+  shard : int;
+  wtransport : Transport.t;
+  mutable wfd : Unix.file_descr option;
+  wbuf : Buffer.t;
+  mutable wforwarded : int;
+}
+
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+(* Same line discipline as Server: split complete lines off a buffer,
+   keep the trailing partial. *)
+let drain_buffer buf =
+  let data = Buffer.contents buf in
+  let lines = ref [] and start = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then begin
+        lines := String.sub data !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    data;
+  Buffer.clear buf;
+  Buffer.add_substring buf data !start (String.length data - !start);
+  List.rev !lines
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.single_write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let error_response msg =
+  Json.Obj [ ("status", Json.Str "error"); ("error", Json.Str msg) ]
+
+let wire_drop w =
+  (match w.wfd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  w.wfd <- None;
+  Buffer.clear w.wbuf
+
+let wire_fd w =
+  match w.wfd with
+  | Some fd -> Ok fd
+  | None -> (
+    match Transport.connect w.wtransport with
+    | Ok fd ->
+      w.wfd <- Some fd;
+      Ok fd
+    | Error reason -> Error reason)
+
+let reconnect_note w reason =
+  Metrics.incr (Metrics.current ()) "service.reconnects";
+  Tracer.record
+    (Event.Service
+       { op = "reconnect"; detail = Printf.sprintf "shard %d: %s" w.shard reason })
+
+(* Send the group's lines down the worker wire; [Error] drops the
+   connection so the next attempt redials. *)
+let send w lines =
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  match wire_fd w with
+  | Error reason -> Error reason
+  | Ok fd -> (
+    try
+      write_all fd payload;
+      Ok fd
+    with Unix.Unix_error (e, _, _) ->
+      wire_drop w;
+      Error (Unix.error_message e))
+
+let send_retry w lines =
+  match send w lines with
+  | Ok fd -> Ok fd
+  | Error reason ->
+    (* Redial once and resend the whole group.  Safe: request keys are
+       content hashes, so a line the worker already executed replays as a
+       cache hit, never a second execution. *)
+    reconnect_note w reason;
+    send w lines
+
+(* Await [n] complete reply lines on the wire. *)
+let read_lines w fd n ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let count () =
+    let k = ref 0 in
+    String.iter (fun c -> if c = '\n' then incr k) (Buffer.contents w.wbuf);
+    !k
+  in
+  let failed = ref None in
+  while !failed = None && count () < n do
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then failed := Some (Printf.sprintf "timed out after %.1fs" timeout_s)
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> failed := Some (Printf.sprintf "timed out after %.1fs" timeout_s)
+      | _ -> (
+        let bytes = Bytes.create 65536 in
+        match Unix.read fd bytes 0 (Bytes.length bytes) with
+        | 0 -> failed := Some "worker closed the connection"
+        | k -> Buffer.add_subbytes w.wbuf bytes 0 k
+        | exception Unix.Unix_error (e, _, _) -> failed := Some (Unix.error_message e))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  match !failed with
+  | Some reason -> Error reason
+  | None ->
+    let rec take k acc lines =
+      if k = 0 then (List.rev acc, lines)
+      else
+        match lines with
+        | l :: rest -> take (k - 1) (l :: acc) rest
+        | [] -> (List.rev acc, [])
+    in
+    let complete = drain_buffer w.wbuf in
+    let wanted, surplus = take n [] complete in
+    (* A worker never volunteers lines, but if one ever did, dropping the
+       surplus beats misattributing it to the next batch. *)
+    ignore surplus;
+    Ok wanted
+
+let collect w fd lines ~timeout_s =
+  match read_lines w fd (List.length lines) ~timeout_s with
+  | Ok replies -> Ok replies
+  | Error reason -> (
+    wire_drop w;
+    reconnect_note w reason;
+    match send w lines with
+    | Error reason -> Error reason
+    | Ok fd -> read_lines w fd (List.length lines) ~timeout_s)
+
+let shards_json wires transport =
+  Json.Obj
+    [
+      ("status", Json.Str "ok");
+      ("op", Json.Str "shards");
+      ( "data",
+        Json.Obj
+          [
+            ("router", Json.Str (Transport.to_string transport));
+            ("shards", Json.Int (List.length wires));
+            ( "workers",
+              Json.Arr
+                (List.map
+                   (fun w ->
+                     let metrics =
+                       match
+                         Client.call ~transport:w.wtransport ~timeout_s:2.0
+                           [ Json.Obj [ ("op", Json.Str "metrics") ] ]
+                       with
+                       | Ok [ reply ] ->
+                         Option.value ~default:Json.Null (Json.member "data" reply)
+                       | _ -> Json.Null
+                     in
+                     Json.Obj
+                       [
+                         ("shard", Json.Int w.shard);
+                         ("address", Json.Str (Transport.to_string w.wtransport));
+                         ("forwarded", Json.Int w.wforwarded);
+                         ("connected", Json.Bool (w.wfd <> None));
+                         ("metrics", metrics);
+                       ])
+                   wires) );
+          ] );
+    ]
+
+let route ~transport ~workers ?max_requests ?(worker_timeout_s = 600.0) ?ready
+    ?(log = fun _ -> ()) () =
+  if workers = [] then invalid_arg "Router.route: no workers";
+  let wires =
+    List.mapi
+      (fun shard wtransport ->
+        { shard; wtransport; wfd = None; wbuf = Buffer.create 4096; wforwarded = 0 })
+      workers
+  in
+  let listen_fd, transport = Transport.listen transport in
+  Option.iter (fun f -> f transport) ready;
+  let stop = ref false in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let on_stop = Sys.Signal_handle (fun _ -> stop := true) in
+  let old_int = Sys.signal Sys.sigint on_stop in
+  let old_term = Sys.signal Sys.sigterm on_stop in
+  let clients = ref [] in
+  let forwarded = ref 0 and batches = ref 0 and accepted = ref 0 and reconnects0 = ref 0 in
+  reconnects0 := Metrics.counter_value (Metrics.current ()) "service.reconnects";
+  let close_client c =
+    clients := List.filter (fun c' -> c'.fd != c.fd) !clients;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let write_json c json =
+    try write_all c.fd (Json.to_string json ^ "\n") with Unix.Unix_error _ -> ()
+  in
+  (* Forward a shutdown to every worker (best-effort, fresh connections:
+     the persistent wires may be mid-conversation). *)
+  let shutdown_workers () =
+    List.iter
+      (fun w ->
+        try
+          ignore
+            (Client.call ~transport:w.wtransport ~timeout_s:2.0
+               [ Json.Obj [ ("op", Json.Str "shutdown") ] ])
+        with _ -> ())
+      wires
+  in
+  let handle_line c line queue =
+    if String.trim line = "" then queue
+    else
+      match Json.parse line with
+      | Error msg ->
+        write_json c (error_response ("bad request line: " ^ msg));
+        queue
+      | Ok json -> (
+        match Option.bind (Json.member "op" json) Json.to_str_opt with
+        | Some "ping" ->
+          write_json c (Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "ping") ]);
+          queue
+        | Some "metrics" ->
+          write_json c
+            (Json.Obj
+               [
+                 ("status", Json.Str "ok");
+                 ("op", Json.Str "metrics");
+                 ("data", Metrics.to_json (Metrics.current ()));
+               ]);
+          queue
+        | Some "shards" ->
+          write_json c (shards_json wires transport);
+          queue
+        | Some "shutdown" ->
+          shutdown_workers ();
+          write_json c (Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "shutdown") ]);
+          stop := true;
+          queue
+        | Some other ->
+          write_json c (error_response (Printf.sprintf "unknown op %S" other));
+          queue
+        | None -> (
+          match Request.of_json json with
+          | Ok request ->
+            (c, request) :: queue
+          | Error msg ->
+            write_json c (error_response msg);
+            queue))
+  in
+  log
+    (Printf.sprintf "routing %s over %d shard(s): %s" (Transport.to_string transport)
+       (List.length wires)
+       (String.concat ", " (List.map (fun w -> Transport.to_string w.wtransport) wires)));
+  let serve_batch queue =
+    incr batches;
+    let m = Metrics.current () in
+    let shards = List.length wires in
+    (* Group by owning shard, preserving per-shard arrival order.  The
+       canonical serialisation is what goes down the wire, so a worker's
+       reply key always matches what the router hashed. *)
+    let groups =
+      List.filter_map
+        (fun w ->
+          match
+            List.filter (fun (_, req) -> Shard.owner_of_request ~shards req = w.shard) queue
+          with
+          | [] -> None
+          | items ->
+            Some (w, items, List.map (fun (_, req) -> Json.to_string (Request.to_json req)) items))
+        wires
+    in
+    (* Phase 1 — send every group before reading any reply, so the
+       workers compute their slices concurrently. *)
+    let sent = List.map (fun (w, items, lines) -> (w, items, lines, send_retry w lines)) groups in
+    (* Phase 2 — collect, in shard order. *)
+    List.iter
+      (fun (w, items, lines, st) ->
+        let replies =
+          match st with
+          | Error reason -> Error reason
+          | Ok fd -> collect w fd lines ~timeout_s:worker_timeout_s
+        in
+        match replies with
+        | Ok replies ->
+          w.wforwarded <- w.wforwarded + List.length items;
+          forwarded := !forwarded + List.length items;
+          Metrics.incr ~by:(List.length items) m "service.forwarded";
+          Metrics.incr ~by:(List.length items) m
+            (Printf.sprintf "service.forwarded_shard%d" w.shard);
+          List.iter2
+            (fun (c, _) reply ->
+              try write_all c.fd (reply ^ "\n") with Unix.Unix_error _ -> ())
+            items replies
+        | Error reason ->
+          Metrics.incr ~by:(List.length items) m "service.router_errors";
+          Tracer.record
+            (Event.Service
+               { op = "route-error"; detail = Printf.sprintf "shard %d: %s" w.shard reason });
+          List.iter
+            (fun (c, req) ->
+              write_json c
+                (Json.Obj
+                   [
+                     ("status", Json.Str "error");
+                     ("key", Json.Str (Request.key req));
+                     ( "error",
+                       Json.Str (Printf.sprintf "shard %d unavailable: %s" w.shard reason) );
+                   ]))
+            items)
+      sent;
+    Metrics.incr m "service.router_batches";
+    log
+      (Printf.sprintf "batch of %d across %d shard(s) (%d forwarded total)" (List.length queue)
+         (List.length groups) !forwarded)
+  in
+  (try
+     while not !stop do
+       let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+       let readable =
+         match Unix.select fds [] [] 0.25 with
+         | readable, _, _ -> readable
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+       in
+       if List.memq listen_fd readable then begin
+         match Unix.accept listen_fd with
+         | fd, _ ->
+           Transport.configure transport fd;
+           incr accepted;
+           clients := { fd; buf = Buffer.create 256 } :: !clients
+         | exception Unix.Unix_error _ -> ()
+       end;
+       let queue = ref [] in
+       List.iter
+         (fun c ->
+           if List.memq c.fd readable then begin
+             let bytes = Bytes.create 65536 in
+             match Unix.read c.fd bytes 0 (Bytes.length bytes) with
+             | 0 -> close_client c
+             | n ->
+               Buffer.add_subbytes c.buf bytes 0 n;
+               List.iter (fun line -> queue := handle_line c line !queue) (drain_buffer c.buf)
+             | exception Unix.Unix_error _ -> close_client c
+           end)
+         !clients;
+       let queue = List.rev !queue in
+       if queue <> [] then begin
+         serve_batch queue;
+         match max_requests with
+         | Some limit when !forwarded >= limit ->
+           shutdown_workers ();
+           stop := true
+         | _ -> ()
+       end
+     done
+   with exn ->
+     List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
+     List.iter wire_drop wires;
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Transport.cleanup transport;
+     Sys.set_signal Sys.sigpipe old_pipe;
+     Sys.set_signal Sys.sigint old_int;
+     Sys.set_signal Sys.sigterm old_term;
+     raise exn);
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
+  List.iter wire_drop wires;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Transport.cleanup transport;
+  Sys.set_signal Sys.sigpipe old_pipe;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  let reconnects =
+    Metrics.counter_value (Metrics.current ()) "service.reconnects" - !reconnects0
+  in
+  log (Printf.sprintf "router shutdown after %d forwarded in %d batches" !forwarded !batches);
+  { forwarded = !forwarded; batches = !batches; clients = !accepted; reconnects }
+
+(* ---- the in-process fleet ---- *)
+
+type fleet = {
+  address : Transport.t;
+  shards : Transport.t list;
+  stop : unit -> stats;
+}
+
+let launch_fleet ~shards ~transport ~executor_of ?max_queue ?(log = fun _ -> ()) () =
+  if shards < 1 then invalid_arg (Printf.sprintf "Router.launch_fleet: shards %d < 1" shards);
+  let worker_ready = Array.init shards (fun _ -> Atomic.make None) in
+  let worker_domains =
+    List.init shards (fun i ->
+        let listen = Shard.worker_transport ~base:transport i in
+        Domain.spawn (fun () ->
+            Metrics.with_registry (Metrics.create ()) (fun () ->
+                try
+                  ignore
+                    (Server.supervise ~transport:listen
+                       ~executor_of:(fun () -> executor_of i)
+                       ?max_queue
+                       ~ready:(fun t -> Atomic.set worker_ready.(i) (Some t))
+                       ~log:(fun line -> log (Printf.sprintf "[shard %d] %s" i line))
+                       ())
+                with _ -> ())))
+  in
+  let rec await what cell k =
+    match Atomic.get cell with
+    | Some t -> t
+    | None ->
+      if k = 0 then failwith (Printf.sprintf "Router.launch_fleet: %s never bound" what)
+      else begin
+        Unix.sleepf 0.01;
+        await what cell (k - 1)
+      end
+  in
+  let workers = List.init shards (fun i -> await (Printf.sprintf "shard %d" i) worker_ready.(i) 1000) in
+  let router_ready = Atomic.make None in
+  let router_stats = Atomic.make None in
+  let router_domain =
+    Domain.spawn (fun () ->
+        Metrics.with_registry (Metrics.create ()) (fun () ->
+            try
+              let s =
+                route ~transport ~workers
+                  ~ready:(fun t -> Atomic.set router_ready (Some t))
+                  ~log ()
+              in
+              Atomic.set router_stats (Some s)
+            with _ -> ()))
+  in
+  let address = await "router" router_ready 1000 in
+  let stop () =
+    (try
+       ignore
+         (Client.call ~transport:address ~timeout_s:5.0
+            [ Json.Obj [ ("op", Json.Str "shutdown") ] ])
+     with _ -> ());
+    Domain.join router_domain;
+    List.iter Domain.join worker_domains;
+    match Atomic.get router_stats with
+    | Some s -> s
+    | None -> { forwarded = 0; batches = 0; clients = 0; reconnects = 0 }
+  in
+  { address; shards = workers; stop }

@@ -1,0 +1,97 @@
+(** The shard router: the single public face of an N-worker fleet.
+
+    The router accepts client connections on one {!Transport} address,
+    speaks exactly the server's line-JSON protocol, and forwards each
+    canonical request to the worker owning its content-hash slice
+    ({!Shard.owner} — [hash mod N]).  Each worker is an ordinary
+    {!Server} loop (usually under {!Server.supervise}) with its own
+    cache journal; the router holds one persistent connection per
+    worker, redialing and resending on failure — safe, because request
+    keys are content hashes, so a resent line replays as a cache hit on
+    the worker that already executed it.
+
+    Per batch the router writes {e every} shard's slice before reading
+    {e any} replies, so workers compute their slices concurrently —
+    that phase split, not the router itself, is where the horizontal
+    speedup on miss-heavy load comes from (docs/SCALING.md has the
+    measured curve).
+
+    Protocol notes.  [ping] and [metrics] are answered by the router
+    itself; [shutdown] is forwarded to every worker before the router
+    stops; the router-only op
+
+    {v {"op": "shards"} v}
+
+    returns the fleet topology: shard count, per-worker address,
+    connection state, forwarded-request count, and each worker's live
+    metrics snapshot (fetched over the wire; [null] for an unreachable
+    worker).  Replies to a multi-request batch arrive grouped by shard,
+    not in request submission order — they are keyed, and {!Client}
+    validates by key set, not order.  A shard that stays unreachable
+    after one redial yields typed ["error"] replies carrying the
+    request key ([service.router_errors] counts them).
+
+    Counters ([service.*], docs/OBSERVABILITY.md): [forwarded],
+    [forwarded_shard<i>], [router_batches], [reconnects],
+    [router_errors]. *)
+
+type stats = {
+  forwarded : int;  (** requests forwarded and answered via a worker. *)
+  batches : int;  (** router batches drained. *)
+  clients : int;  (** client connections accepted over the router's lifetime. *)
+  reconnects : int;  (** worker redials performed ([service.reconnects]). *)
+}
+
+val route :
+  transport:Transport.t ->
+  workers:Transport.t list ->
+  ?max_requests:int ->
+  ?worker_timeout_s:float ->
+  ?ready:(Transport.t -> unit) ->
+  ?log:(string -> unit) ->
+  unit ->
+  stats
+(** Bind [transport] and forward until a [shutdown] op, a signal, or —
+    with [max_requests] — until that many requests have been forwarded
+    (workers are then shut down too).  [workers] lists the worker
+    addresses in shard order; shard [i] of [List.length workers] owns
+    slice [i].  [worker_timeout_s] (default 600) bounds each wait for a
+    worker's replies; past it the wire is redialed, the slice resent,
+    and on a second failure the affected requests get typed error
+    replies.  [ready] receives the resolved listen address (TCP port 0
+    becomes the kernel-assigned port).  Raises [Invalid_argument] on an
+    empty [workers]. *)
+
+(** {1 The in-process fleet}
+
+    For tests, drills and the load generator: the whole deployment —
+    N supervised workers plus the router — inside one process, one
+    domain each.  The CLI's [lowerbound shard] verb builds the same
+    topology from OS processes instead. *)
+
+type fleet = {
+  address : Transport.t;  (** the router's resolved address — dial this. *)
+  shards : Transport.t list;  (** resolved worker addresses, in shard order. *)
+  stop : unit -> stats;
+      (** shut the fleet down (router first, which forwards the shutdown
+          to every worker), join every domain, and return the router's
+          stats. *)
+}
+
+val launch_fleet :
+  shards:int ->
+  transport:Transport.t ->
+  executor_of:(int -> Executor.t) ->
+  ?max_queue:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  fleet
+(** Launch [shards] supervised workers and a router at [transport].
+    Worker [i] listens on {!Shard.worker_transport}[ ~base:transport i]
+    and rebuilds its executor with [executor_of i] per generation — the
+    caller decides cache capacity and journal path per shard there.  A
+    TCP [transport] with port 0 gives {e every} listener (router and
+    workers) its own kernel-assigned port; the resolved addresses are in
+    the returned {!fleet}.  Blocks until every listener is bound.
+    Raises [Invalid_argument] when [shards < 1] and [Failure] if a
+    listener never binds. *)

@@ -52,14 +52,13 @@ let rec split_at n = function
     (x :: a, b)
   | l -> ([], l)
 
-let serve ~socket ~executor ?max_requests ?chaos ?max_queue ?(log = fun _ -> ()) () =
+let serve ~transport ~executor ?max_requests ?chaos ?max_queue ?ready
+    ?(log = fun _ -> ()) () =
   Option.iter
     (fun q -> if q < 1 then invalid_arg (Printf.sprintf "Server: max_queue %d < 1" q))
     max_queue;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  if Sys.file_exists socket then Unix.unlink socket;
-  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-  Unix.listen listen_fd 64;
+  let listen_fd, transport = Transport.listen transport in
+  Option.iter (fun f -> f transport) ready;
   (* Ignore SIGPIPE (a vanished client must not kill the server) and turn
      SIGINT/SIGTERM into a graceful-stop flag, restoring all three
      afterwards so in-process callers (tests) keep their handlers. *)
@@ -153,7 +152,7 @@ let serve ~socket ~executor ?max_requests ?chaos ?max_queue ?(log = fun _ -> ())
       admitted
     | _ -> queue
   in
-  log (Printf.sprintf "listening on %s" socket);
+  log (Printf.sprintf "listening on %s" (Transport.to_string transport));
   (try
      while not !stop do
        let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
@@ -167,6 +166,7 @@ let serve ~socket ~executor ?max_requests ?chaos ?max_queue ?(log = fun _ -> ())
        if List.memq listen_fd readable then begin
          match Unix.accept listen_fd with
          | fd, _ ->
+           Transport.configure transport fd;
            incr accepted;
            clients := { fd; buf = Buffer.create 256 } :: !clients
          | exception Unix.Unix_error _ -> ()
@@ -210,14 +210,14 @@ let serve ~socket ~executor ?max_requests ?chaos ?max_queue ?(log = fun _ -> ())
         this path too, on its way to the supervisor. *)
      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     if Sys.file_exists socket then Unix.unlink socket;
+     Transport.cleanup transport;
      Sys.set_signal Sys.sigpipe old_pipe;
      Sys.set_signal Sys.sigint old_int;
      Sys.set_signal Sys.sigterm old_term;
      raise exn);
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  if Sys.file_exists socket then Unix.unlink socket;
+  Transport.cleanup transport;
   Cache.close (Executor.cache executor);
   Sys.set_signal Sys.sigpipe old_pipe;
   Sys.set_signal Sys.sigint old_int;
@@ -227,13 +227,21 @@ let serve ~socket ~executor ?max_requests ?chaos ?max_queue ?(log = fun _ -> ())
 
 type supervised = { last : stats; recoveries : int }
 
-let supervise ~socket ~executor_of ?max_requests ?(max_restarts = 100) ?chaos ?max_queue
-    ?(log = fun _ -> ()) () =
+let supervise ~transport ~executor_of ?max_requests ?(max_restarts = 100) ?chaos ?max_queue
+    ?ready ?(log = fun _ -> ()) () =
   if max_restarts < 0 then invalid_arg "Server.supervise: max_restarts < 0";
   let recoveries = ref 0 in
+  (* Pin the address the first generation resolved (a TCP port 0 becomes a
+     concrete port), so every restarted generation rebinds the {e same}
+     endpoint and clients keep a stable address across crashes. *)
+  let bound = ref transport in
+  let ready t =
+    bound := t;
+    Option.iter (fun f -> f t) ready
+  in
   let rec generation () =
     let executor = executor_of () in
-    match serve ~socket ~executor ?max_requests ?chaos ?max_queue ~log () with
+    match serve ~transport:!bound ~executor ?max_requests ?chaos ?max_queue ~ready ~log () with
     | stats -> { last = stats; recoveries = !recoveries }
     | exception Chaos.Server_crash reason ->
       (* [serve]'s cleanup already ran (fds closed, socket unlinked,

@@ -1,5 +1,6 @@
-(** The request server: a hand-rolled accept loop over a Unix-domain
-    socket, speaking line-delimited JSON.
+(** The request server: a hand-rolled accept loop over a {!Transport}
+    address — a Unix-domain socket or a TCP endpoint — speaking
+    line-delimited JSON.
 
     Protocol: a client connects, writes one JSON object per line, and
     receives one JSON response line per request, in order.  Lines that
@@ -50,18 +51,23 @@ val write_line : Unix.file_descr -> Lb_observe.Json.t -> unit
     line.  Exposed for tests and for tools speaking the wire protocol. *)
 
 val serve :
-  socket:string ->
+  transport:Transport.t ->
   executor:Executor.t ->
   ?max_requests:int ->
   ?chaos:Chaos.engine ->
   ?max_queue:int ->
+  ?ready:(Transport.t -> unit) ->
   ?log:(string -> unit) ->
   unit ->
   stats
-(** Bind [socket] (an existing socket file is replaced), serve until a
-    [shutdown] op, a signal, or — when [max_requests] is given — until
-    that many requests have been answered.  [chaos] interposes the engine
-    on batch replies (control replies are exempt); [max_queue] (≥ 1, else
+(** Bind [transport] (an existing Unix socket file is replaced; a TCP
+    port gets [SO_REUSEADDR]), serve until a [shutdown] op, a signal, or
+    — when [max_requests] is given — until that many requests have been
+    answered.  [ready] is called once the listener is bound, with the
+    {e resolved} address (a {!Transport.Tcp} port 0 becomes the
+    kernel-assigned port) — how tests and drills learn an ephemeral
+    port race-free.  [chaos] interposes the engine on batch replies
+    (control replies are exempt); [max_queue] (≥ 1, else
     [Invalid_argument]) arms admission control.  [log] receives one-line
     progress notes (default: silent).  May raise {!Chaos.Server_crash}
     (after restoring fds, socket file and signal handlers) — callers
@@ -73,12 +79,13 @@ type supervised = {
 }
 
 val supervise :
-  socket:string ->
+  transport:Transport.t ->
   executor_of:(unit -> Executor.t) ->
   ?max_requests:int ->
   ?max_restarts:int ->
   ?chaos:Chaos.engine ->
   ?max_queue:int ->
+  ?ready:(Transport.t -> unit) ->
   ?log:(string -> unit) ->
   unit ->
   supervised
@@ -88,9 +95,13 @@ val supervise :
     recorded, and [executor_of ()] builds the next generation's executor —
     typically {!Cache.create} on the same journal path (reloading every
     durable entry, including the acknowledged results of the crashed
-    generation) followed by {!Cache.compact}.  [max_restarts] (default
-    100) bounds the crash loop; exceeding it raises [Failure].
-    [max_requests] applies per generation.  The same [chaos] engine
-    should be threaded through both [serve] and the caches [executor_of]
-    builds, so occurrence counters span restarts — a plan that crashes at
-    reply #2 fires once, not once per generation. *)
+    generation) followed by {!Cache.compact}.  The address the first
+    generation resolved is pinned, so a {!Transport.Tcp} port 0 resolves
+    once and every restarted generation rebinds the {e same} endpoint —
+    clients keep a stable address across crashes ([SO_REUSEADDR] makes
+    the immediate rebind legal).  [max_restarts] (default 100) bounds
+    the crash loop; exceeding it raises [Failure].  [max_requests]
+    applies per generation.  The same [chaos] engine should be threaded
+    through both [serve] and the caches [executor_of] builds, so
+    occurrence counters span restarts — a plan that crashes at reply #2
+    fires once, not once per generation. *)

@@ -1,0 +1,23 @@
+(* The partition function must be cheap (it runs once per forwarded
+   request) and stable across processes and OCaml versions — which the
+   key's own MD5 hex prefix is, and Hashtbl.hash on arbitrary strings is
+   only within one runtime version.  The hex parse is therefore the
+   primary path; the Hashtbl fallback exists solely so foreign keys
+   degrade to a valid owner instead of an exception. *)
+let owner ~shards key =
+  if shards < 1 then invalid_arg (Printf.sprintf "Shard.owner: shards %d < 1" shards);
+  let prefix = String.sub key 0 (min 8 (String.length key)) in
+  let value =
+    match int_of_string_opt ("0x" ^ prefix) with
+    | Some v -> v
+    | None -> Hashtbl.hash key
+  in
+  value mod shards
+
+let owner_of_request ~shards request = owner ~shards (Request.key request)
+
+let worker_transport ~base i =
+  match base with
+  | Transport.Unix_socket path -> Transport.Unix_socket (Printf.sprintf "%s-shard-%d" path i)
+  | Transport.Tcp { host; port } ->
+    Transport.Tcp { host; port = (if port = 0 then 0 else port + 1 + i) }

@@ -1,0 +1,40 @@
+(** Keyspace ownership for the sharded deployment: which worker owns
+    which content-hash slice.
+
+    The service's request {!Request.key} is an MD5 hex digest of the
+    canonical request — a content hash.  Sharding reuses it as the
+    partition key: worker [owner ~shards key] owns the key, computed as
+    the key's leading 32 hash bits modulo the shard count.  The
+    invariant (docs/SCALING.md) is {e total, disjoint, stable}
+    ownership:
+
+    - total: every key has exactly one owner in [0 .. shards-1];
+    - disjoint: ownership is a pure function of [(shards, key)], so two
+      routers over the same fleet agree, and no request can be computed
+      (or cached) on two workers;
+    - stable: a worker crash and supervised restart changes nothing —
+      the key routes to the {e same} shard, whose reloaded journal
+      already holds every result it acknowledged.
+
+    Because the key already forces [jobs := 1] and is invariant under
+    JSON field reordering, any two encodings of the same computation
+    land on the same shard — the router never splits a deduplicatable
+    pair across workers. *)
+
+val owner : shards:int -> string -> int
+(** [owner ~shards key] is the owning worker index in [0 .. shards-1]:
+    the key's first 8 hex characters parsed as an integer, modulo
+    [shards].  A non-hex prefix (foreign keys are hashed, not rejected)
+    falls back to [Hashtbl.hash] of the key.  Raises [Invalid_argument]
+    when [shards < 1]. *)
+
+val owner_of_request : shards:int -> Request.t -> int
+(** [owner ~shards (Request.key r)]. *)
+
+val worker_transport : base:Transport.t -> int -> Transport.t
+(** The conventional address of worker [i] under a router bound at
+    [base]: [PATH-shard-I] for a Unix socket, [host:(port+1+I)] for TCP.
+    A TCP base with port [0] yields port [0] for every worker — each
+    then binds its own kernel-assigned port, resolved through the
+    server's [ready] callback (how {!Router.launch_fleet} wires an
+    all-ephemeral fleet). *)

@@ -1,0 +1,97 @@
+type t = Unix_socket of string | Tcp of { host : string; port : int }
+
+let tcp_of_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "TCP address %S lacks a :PORT suffix" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    if host = "" then Error (Printf.sprintf "TCP address %S lacks a host" s)
+    else
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 && port <= 65535 -> Ok (Tcp { host; port })
+      | Some port -> Error (Printf.sprintf "port %d out of range" port)
+      | None -> Error (Printf.sprintf "bad port %S" port_s))
+
+let looks_like_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> false
+  | Some i ->
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    i > 0 && port <> "" && String.for_all (fun c -> c >= '0' && c <= '9') port
+
+let of_string s =
+  if s = "" then Error "empty address"
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    tcp_of_hostport (String.sub s 4 (String.length s - 4))
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
+  else if looks_like_hostport s then tcp_of_hostport s
+  else Ok (Unix_socket s)
+
+let to_string = function
+  | Unix_socket path -> path
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (resolve_host host, port)
+
+let domain = function Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let configure t fd =
+  match t with
+  | Unix_socket _ -> ()
+  | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+
+let listen ?(backlog = 64) t =
+  let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+  (try
+     (match t with
+     | Unix_socket path -> if Sys.file_exists path then Unix.unlink path
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+     Unix.bind fd (sockaddr t);
+     Unix.listen fd backlog
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  (* Resolve a kernel-assigned port back into the address so callers can
+     hand clients something dialable. *)
+  let resolved =
+    match t with
+    | Unix_socket _ -> t
+    | Tcp { host; _ } -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> Tcp { host; port }
+      | Unix.ADDR_UNIX _ -> t)
+  in
+  (fd, resolved)
+
+let connect t =
+  match Unix.socket (domain t) Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    match Unix.connect fd (sockaddr t) with
+    | () ->
+      configure t fd;
+      Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+    | exception Failure msg ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error msg)
+
+let cleanup = function
+  | Unix_socket path -> if Sys.file_exists path then ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ()

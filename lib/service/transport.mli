@@ -1,0 +1,69 @@
+(** The service transport: one address abstraction over Unix-domain
+    sockets and TCP, used by every socket-touching layer — {!Server},
+    {!Client}, {!Router}, {!Drill}, {!Loadgen} and the CLI.
+
+    An address is either a filesystem socket path ({!Unix_socket}, the
+    single-host default: no ports, no firewalls, kernel-enforced
+    permissions) or a [host:port] endpoint ({!Tcp}, the scale-out
+    transport: a router and its shard workers, or a remote load
+    generator, reach the service over loopback or a real network).  The
+    wire protocol above the transport — line-delimited JSON, one reply
+    per request — is byte-identical on both; the TCP parity test in
+    [suite_service] pins that the {e same request} yields the {e
+    byte-identical reply} over either transport.
+
+    {b Ephemeral ports.}  A {!Tcp} address with port [0] asks the kernel
+    for a free port at {!listen} time; the resolved address (with the
+    real port) is returned by {!listen} and handed to
+    {!Server.serve}'s [?ready] callback, so tests and drills can bind
+    race-free without guessing ports.
+
+    {b Latency.}  TCP connections get [TCP_NODELAY] ({!configure}): the
+    protocol is request/response with sub-millisecond computations, and
+    Nagle-delaying a 200-byte reply behind a 40 ms timer would dominate
+    every loadgen percentile. *)
+
+type t =
+  | Unix_socket of string  (** a filesystem socket path. *)
+  | Tcp of { host : string; port : int }
+      (** [host] is a numeric address or a resolvable name; [port] 0
+          means "kernel-assigned" (resolved at {!listen}). *)
+
+val of_string : string -> (t, string) result
+(** Parse a CLI address argument:
+    - ["tcp:HOST:PORT"] — explicitly TCP;
+    - ["unix:PATH"] — explicitly a socket path;
+    - ["HOST:PORT"] (the suffix after the last [':'] all digits) — TCP;
+    - anything else — a Unix socket path.
+
+    [Error] on a malformed or out-of-range port. *)
+
+val to_string : t -> string
+(** The parseable rendering: the bare path for {!Unix_socket},
+    [host:port] for {!Tcp}.  [of_string (to_string t) = Ok t] for every
+    [t] whose path does not itself look like [host:port]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val listen : ?backlog:int -> t -> Unix.file_descr * t
+(** Bind and listen ([backlog] defaults to 64).  For {!Unix_socket} an
+    existing socket file is replaced.  For {!Tcp} the socket gets
+    [SO_REUSEADDR] (a supervised restart must rebind the port
+    immediately) and the returned transport carries the {e resolved}
+    port — identical to the input unless the input port was 0.  Raises
+    [Unix.Unix_error] on bind failure and [Failure] on an unresolvable
+    host. *)
+
+val connect : t -> (Unix.file_descr, string) result
+(** Dial the address; the returned fd is connected and {!configure}d.
+    All failures (unresolvable host, refused connection) come back as
+    [Error reason], never as an exception. *)
+
+val configure : t -> Unix.file_descr -> unit
+(** Per-connection socket options for an {e accepted or connected} fd:
+    [TCP_NODELAY] for {!Tcp}, nothing for {!Unix_socket}.  The server
+    applies this to every accepted connection. *)
+
+val cleanup : t -> unit
+(** Remove the socket file of a {!Unix_socket} if it exists; a no-op for
+    {!Tcp}.  Safe to call twice. *)

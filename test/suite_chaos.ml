@@ -169,6 +169,17 @@ let t_drill_seed_replay () =
       (Json.to_string (strip (Drill.report_json b)))
   | _ -> Alcotest.fail "garble drill failed to run"
 
+(* The robustness invariants are transport-independent: the same crash
+   drill that passes over a Unix socket must pass over loopback TCP
+   (ephemeral port, resolved through the drill's ready plumbing). *)
+let t_drill_tcp_transport () =
+  match Drill.run ~seed:1 ~transport:`Tcp "crash-mid-batch" with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+    Alcotest.(check bool) "crash drill holds over TCP" true report.Drill.passed;
+    Alcotest.(check string) "the report records its transport" "tcp"
+      report.Drill.transport
+
 let suite =
   [
     Alcotest.test_case "grammar: named plans round-trip" `Quick t_grammar_roundtrip;
@@ -187,4 +198,5 @@ let suite =
       t_drill_fails_without_supervision;
     Alcotest.test_case "drills: unknown names are typed errors" `Quick t_drill_unknown_name;
     Alcotest.test_case "drills: seed replay reproduces the report" `Slow t_drill_seed_replay;
+    Alcotest.test_case "drills: crash-mid-batch holds over TCP" `Slow t_drill_tcp_transport;
   ]

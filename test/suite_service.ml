@@ -323,10 +323,10 @@ let t_catalog_unknown () =
 
 (* ---- the server under concurrent clients ---- *)
 
-let connect socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX socket);
-  fd
+let connect transport =
+  match Transport.connect transport with
+  | Ok fd -> fd
+  | Error reason -> failwith ("connect: " ^ reason)
 
 let send_line fd json =
   let line = Json.to_string json ^ "\n" in
@@ -357,13 +357,21 @@ let status_of json =
 
 (* Run a toy-compute server in its own domain (Unix.fork is off the table:
    the exec suite has already spawned domains by the time this suite runs)
-   and hand the test body a live socket.  The server domain gets a fresh
-   metrics registry — the DLS default is one global registry, which the
-   parent's earlier tests have already written service.* counts into. *)
-let with_toy_server ?(capacity = 64) ?chaos ?max_queue body =
+   and hand the test body its live transport — a scratch Unix socket by
+   default, an ephemeral loopback TCP port with [~tcp:true] (resolved
+   race-free through the server's [ready] callback).  The server domain
+   gets a fresh metrics registry — the DLS default is one global registry,
+   which the parent's earlier tests have already written service.* counts
+   into. *)
+let with_toy_server ?(capacity = 64) ?chaos ?max_queue ?(tcp = false) body =
   let tmp = Filename.temp_file "lbsvc_srv" "" in
   Sys.remove tmp;
   let socket = tmp ^ ".sock" in
+  let listen =
+    if tcp then Transport.Tcp { host = "127.0.0.1"; port = 0 }
+    else Transport.Unix_socket socket
+  in
+  let resolved = Atomic.make None in
   let server =
     Domain.spawn (fun () ->
         try
@@ -371,25 +379,40 @@ let with_toy_server ?(capacity = 64) ?chaos ?max_queue body =
               let cache = Cache.create ~capacity () in
               let calls = ref 0 in
               let executor = Executor.create ~cache ~compute:(counting_compute calls) () in
-              ignore (Server.serve ~socket ~executor ?chaos ?max_queue ()))
+              ignore
+                (Server.serve ~transport:listen ~executor ?chaos ?max_queue
+                   ~ready:(fun t -> Atomic.set resolved (Some t)) ()))
         with _ -> ())
   in
+  let rec await k =
+    match Atomic.get resolved with
+    | Some t -> t
+    | None ->
+      if k = 0 then failwith "toy server never bound its transport"
+      else begin
+        Unix.sleepf 0.01;
+        await (k - 1)
+      end
+  in
+  let transport = await 500 in
   let finally () =
-    (try ignore (Client.call ~socket ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ])
+    (try
+       ignore
+         (Client.call ~transport ~timeout_s:2.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ])
      with _ -> ());
     Domain.join server;
     if Sys.file_exists socket then Sys.remove socket
   in
   Fun.protect ~finally (fun () ->
-      Alcotest.(check bool) "server came up" true (Client.wait_ready ~socket ());
-      body socket)
+      Alcotest.(check bool) "server came up" true (Client.wait_ready ~transport ());
+      body transport)
 
 (* Fire a randomized mix of requests from several simultaneously connected
    clients (duplicates included, written before any responses are read, so
    the server coalesces across clients), and check every response plus the
    hit/miss/dedup accounting. *)
 let t_server_concurrent_fuzz () =
-  with_toy_server (fun socket ->
+  with_toy_server (fun transport ->
         let pool =
           [|
             Request.experiment "e1"; Request.experiment "e2";
@@ -403,7 +426,7 @@ let t_server_concurrent_fuzz () =
              requests are genuinely in flight together. *)
           let clients =
             List.init 3 (fun _ ->
-                let fd = connect socket in
+                let fd = connect transport in
                 let reqs =
                   List.init
                     (1 + Random.State.int rand 4)
@@ -432,7 +455,7 @@ let t_server_concurrent_fuzz () =
         done;
         (* The accounting must balance: every request was a hit, a fresh
            computation, or an in-flight dedup; distinct keys bound misses. *)
-        match Client.call ~socket ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
+        match Client.call ~transport ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
         | Error e -> Alcotest.fail (Client.error_message e)
         | Ok [ response ] ->
           let counter name =
@@ -454,8 +477,8 @@ let t_server_concurrent_fuzz () =
         | Ok _ -> Alcotest.fail "expected one metrics response")
 
 let t_server_rejects_garbage () =
-  with_toy_server (fun socket ->
-      let fd = connect socket in
+  with_toy_server (fun transport ->
+      let fd = connect transport in
       ignore (Unix.write_substring fd "not json at all\n" 0 16);
       send_line fd (Json.Obj [ ("kind", Json.Str "experiment") ]);
       (* missing id *)
@@ -502,7 +525,7 @@ let with_fake_server script body =
     (try Unix.close listener with Unix.Unix_error _ -> ());
     if Sys.file_exists socket then Sys.remove socket
   in
-  Fun.protect ~finally (fun () -> body socket)
+  Fun.protect ~finally (fun () -> body (Transport.Unix_socket socket))
 
 let raw fd s = ignore (Unix.write_substring fd s 0 (String.length s))
 let ping = Json.Obj [ ("op", Json.Str "ping") ]
@@ -510,8 +533,8 @@ let ping = Json.Obj [ ("op", Json.Str "ping") ]
 let t_client_truncated_reply () =
   with_fake_server
     (fun fd -> raw fd "{\"status\":\"ok\",\"da")
-    (fun socket ->
-      match Client.call ~socket ~timeout_s:5.0 [ ping ] with
+    (fun transport ->
+      match Client.call ~transport ~timeout_s:5.0 [ ping ] with
       | Error Client.Closed -> ()
       | Error e ->
         Alcotest.fail ("expected Closed, got " ^ Client.error_message e)
@@ -520,8 +543,8 @@ let t_client_truncated_reply () =
 let t_client_non_json_reply () =
   with_fake_server
     (fun fd -> raw fd "this is not json\n")
-    (fun socket ->
-      match Client.call ~socket ~timeout_s:5.0 [ ping ] with
+    (fun transport ->
+      match Client.call ~transport ~timeout_s:5.0 [ ping ] with
       | Error (Client.Bad_line { line; _ }) ->
         Alcotest.(check string) "offending line preserved" "this is not json" line
       | Error e ->
@@ -531,8 +554,8 @@ let t_client_non_json_reply () =
 let t_client_unknown_key_reply () =
   with_fake_server
     (fun fd -> raw fd "{\"key\":\"deadbeef\",\"status\":\"ok\"}\n")
-    (fun socket ->
-      match Client.request ~socket ~timeout_s:5.0 [ Request.experiment "e1" ] with
+    (fun transport ->
+      match Client.request ~transport ~timeout_s:5.0 [ Request.experiment "e1" ] with
       | Error (Client.Unknown_key { key; _ }) ->
         Alcotest.(check string) "stray key reported" "deadbeef" key
       | Error e ->
@@ -543,13 +566,17 @@ let t_client_timeout_and_connect () =
   (* A server that accepts and then never replies -> Timeout. *)
   with_fake_server
     (fun _fd -> Unix.sleepf 0.3)
-    (fun socket ->
-      match Client.call ~socket ~timeout_s:0.1 [ ping ] with
+    (fun transport ->
+      match Client.call ~transport ~timeout_s:0.1 [ ping ] with
       | Error (Client.Timeout s) -> Alcotest.(check (float 1e-9)) "deadline echoed" 0.1 s
       | Error e -> Alcotest.fail ("expected Timeout, got " ^ Client.error_message e)
       | Ok _ -> Alcotest.fail "a mute server cannot satisfy the call");
   (* No socket at all -> Connect, not an exception. *)
-  match Client.call ~socket:"/nonexistent/lbsvc.sock" ~timeout_s:1.0 [ ping ] with
+  match
+    Client.call
+      ~transport:(Transport.Unix_socket "/nonexistent/lbsvc.sock")
+      ~timeout_s:1.0 [ ping ]
+  with
   | Error (Client.Connect _) -> ()
   | Error e -> Alcotest.fail ("expected Connect, got " ^ Client.error_message e)
   | Ok _ -> Alcotest.fail "connecting to a missing socket cannot succeed"
@@ -566,8 +593,8 @@ let t_client_garbage_fuzz () =
     in
     with_fake_server
       (fun fd -> raw fd reply)
-      (fun socket ->
-        match Client.call ~socket ~timeout_s:5.0 [ ping ] with
+      (fun transport ->
+        match Client.call ~transport ~timeout_s:5.0 [ ping ] with
         | Ok _ | Error _ -> ()
         | exception e ->
           Alcotest.fail
@@ -744,7 +771,7 @@ let with_fake_server_seq scripts body =
     (try Unix.close listener with Unix.Unix_error _ -> ());
     if Sys.file_exists socket then Sys.remove socket
   in
-  Fun.protect ~finally (fun () -> body socket)
+  Fun.protect ~finally (fun () -> body (Transport.Unix_socket socket))
 
 let fast_retry attempts =
   { Client.default_retry with Client.attempts; base_delay_s = 0.01; max_delay_s = 0.05 }
@@ -760,8 +787,8 @@ let t_client_retry_recovers () =
           (fun _fd -> ());
           (fun fd -> raw fd "{\"status\":\"ok\"}\n");
         ]
-        (fun socket ->
-          match Client.call_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 4) [ ping ] with
+        (fun transport ->
+          match Client.call_retry ~transport ~timeout_s:5.0 ~retry:(fast_retry 4) [ ping ] with
           | Ok [ reply ] -> Alcotest.(check string) "third attempt lands" "ok" (status_of reply)
           | Ok _ -> Alcotest.fail "wrong reply arity"
           | Error e -> Alcotest.fail ("retry should have recovered: " ^ Client.error_message e)));
@@ -775,8 +802,8 @@ let t_client_retry_overload () =
       (fun fd -> raw fd "{\"status\":\"overload\",\"retry_after_s\":0.05}\n");
       (fun fd -> raw fd "{\"status\":\"ok\"}\n");
     ]
-    (fun socket ->
-      match Client.call_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 3) [ ping ] with
+    (fun transport ->
+      match Client.call_retry ~transport ~timeout_s:5.0 ~retry:(fast_retry 3) [ ping ] with
       | Ok [ reply ] -> Alcotest.(check string) "served after backoff" "ok" (status_of reply)
       | Ok _ | Error _ -> Alcotest.fail "expected recovery after one overload");
   (* Refused every time: the typed Overload surfaces once the budget is spent. *)
@@ -785,8 +812,8 @@ let t_client_retry_overload () =
       (fun fd -> raw fd "{\"status\":\"overload\",\"retry_after_s\":0.05}\n");
       (fun fd -> raw fd "{\"status\":\"overload\",\"retry_after_s\":0.05}\n");
     ]
-    (fun socket ->
-      match Client.call_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 2) [ ping ] with
+    (fun transport ->
+      match Client.call_retry ~transport ~timeout_s:5.0 ~retry:(fast_retry 2) [ ping ] with
       | Error (Client.Overload { attempts }) -> Alcotest.(check int) "budget echoed" 2 attempts
       | Error e -> Alcotest.fail ("expected Overload, got " ^ Client.error_message e)
       | Ok _ -> Alcotest.fail "a permanently overloaded server cannot satisfy the call")
@@ -800,8 +827,8 @@ let t_client_out_of_order_replies () =
       raw fd
         (Printf.sprintf "{\"key\":%S,\"status\":\"ok\"}\n{\"key\":%S,\"status\":\"ok\"}\n"
            (Request.key rb) (Request.key ra)))
-    (fun socket ->
-      match Client.request ~socket ~timeout_s:5.0 [ ra; rb ] with
+    (fun transport ->
+      match Client.request ~transport ~timeout_s:5.0 [ ra; rb ] with
       | Ok replies -> Alcotest.(check int) "both keyed replies accepted" 2 (List.length replies)
       | Error e -> Alcotest.fail ("expected acceptance: " ^ Client.error_message e))
 
@@ -810,15 +837,15 @@ let t_client_out_of_order_replies () =
    serves it.  misses = 1 is the proof. *)
 let t_client_never_double_executes () =
   let engine = Chaos.instantiate ~seed:3 (Chaos.drop_reply ~at:[ 1 ]) in
-  with_toy_server ~chaos:engine (fun socket ->
+  with_toy_server ~chaos:engine (fun transport ->
       let req = Request.echo "idempotent" in
-      (match Client.request_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 5) [ req ] with
+      (match Client.request_retry ~transport ~timeout_s:5.0 ~retry:(fast_retry 5) [ req ] with
       | Ok [ reply ] -> Alcotest.(check string) "recovered after drop" "ok" (status_of reply)
       | Ok _ | Error _ -> Alcotest.fail "retry should recover the dropped reply");
-      (match Client.request_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 5) [ req ] with
+      (match Client.request_retry ~transport ~timeout_s:5.0 ~retry:(fast_retry 5) [ req ] with
       | Ok [ reply ] -> Alcotest.(check string) "second call ok" "ok" (status_of reply)
       | Ok _ | Error _ -> Alcotest.fail "second call should be a cache hit");
-      match Client.call ~socket ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
+      match Client.call ~transport ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "metrics") ] ] with
       | Ok [ response ] ->
         let counter name =
           match
@@ -835,9 +862,9 @@ let t_client_never_double_executes () =
       | Ok _ | Error _ -> Alcotest.fail "metrics fetch failed")
 
 let t_server_overload_backpressure () =
-  with_toy_server ~max_queue:1 (fun socket ->
+  with_toy_server ~max_queue:1 (fun transport ->
       let reqs = List.init 3 (fun i -> Request.echo (Printf.sprintf "ovl-%d" i)) in
-      (match Client.request ~socket ~timeout_s:5.0 reqs with
+      (match Client.request ~transport ~timeout_s:5.0 reqs with
       | Error e -> Alcotest.fail (Client.error_message e)
       | Ok replies ->
         let statuses = List.map status_of replies in
@@ -848,7 +875,7 @@ let t_server_overload_backpressure () =
       (* One at a time, the retrying client lands everything. *)
       List.iter
         (fun r ->
-          match Client.request_retry ~socket ~timeout_s:5.0 ~retry:(fast_retry 5) [ r ] with
+          match Client.request_retry ~transport ~timeout_s:5.0 ~retry:(fast_retry 5) [ r ] with
           | Ok [ reply ] -> Alcotest.(check string) "served" "ok" (status_of reply)
           | Ok _ | Error _ -> Alcotest.fail "individual request should succeed")
         reqs)
@@ -864,6 +891,53 @@ let t_catalog_echo_deterministic () =
       | Some fill -> String.length fill = 10
       | None -> false)
   | _ -> Alcotest.fail "echo compute cannot fail"
+
+let t_catalog_echo_work () =
+  let req = Request.echo ~size:4 ~work:5 "w" in
+  match (Catalog.compute ~jobs:1 req, Catalog.compute ~jobs:4 req) with
+  | Ok a, Ok b ->
+    Alcotest.(check string) "work digest is jobs-invariant and deterministic"
+      (Json.to_string a) (Json.to_string b);
+    Alcotest.(check bool) "digest present when work > 0" true (Json.member "digest" a <> None)
+  | _ -> Alcotest.fail "echo compute cannot fail"
+
+(* Transport parity: the byte stream a client reads is transport-agnostic.
+   Prime the same request on a Unix-socket server and on a TCP server;
+   the second (cache-hit) reply carries elapsed_s = 0.0 exactly, so the
+   raw reply lines must be byte-identical across the two transports. *)
+let recv_raw_line fd =
+  let buf = Buffer.create 256 in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while not (String.contains (Buffer.contents buf) '\n') do
+    if Unix.gettimeofday () > deadline then failwith "raw reply timeout";
+    match Unix.select [ fd ] [] [] 1.0 with
+    | [], _, _ -> ()
+    | _ ->
+      let bytes = Bytes.create 4096 in
+      let n = Unix.read fd bytes 0 (Bytes.length bytes) in
+      if n = 0 then failwith "eof before reply" else Buffer.add_subbytes buf bytes 0 n
+  done;
+  let s = Buffer.contents buf in
+  String.sub s 0 (String.index s '\n')
+
+let t_tcp_unix_parity () =
+  let req = Request.echo ~size:32 ~work:3 "transport-parity" in
+  let second_reply transport =
+    (match Client.request ~transport ~timeout_s:15.0 [ req ] with
+    | Ok [ r ] -> Alcotest.(check string) "prime ok" "ok" (status_of r)
+    | Ok _ | Error _ -> Alcotest.fail "prime request failed");
+    let fd = connect transport in
+    send_line fd (Request.to_json req);
+    let line = recv_raw_line fd in
+    Unix.close fd;
+    line
+  in
+  let via_unix = ref "" and via_tcp = ref "" in
+  with_toy_server (fun transport -> via_unix := second_reply transport);
+  with_toy_server ~tcp:true (fun transport -> via_tcp := second_reply transport);
+  Alcotest.(check bool) "a reply actually arrived" true (String.length !via_unix > 0);
+  Alcotest.(check string) "cache-hit replies are byte-identical across transports"
+    !via_unix !via_tcp
 
 let suite =
   [
@@ -916,4 +990,8 @@ let suite =
       t_server_overload_backpressure;
     Alcotest.test_case "catalog: echo payloads are deterministic" `Quick
       t_catalog_echo_deterministic;
+    Alcotest.test_case "catalog: echo work digest is deterministic" `Quick
+      t_catalog_echo_work;
+    Alcotest.test_case "server: TCP and Unix-socket replies are byte-identical" `Slow
+      t_tcp_unix_parity;
   ]

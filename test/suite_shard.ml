@@ -1,0 +1,337 @@
+(* The horizontal-scale layer (lib/service): shard ownership, the
+   router/fleet, the latency histogram, and the load generator's
+   deterministic schedule.
+
+   The load-bearing properties:
+   - ownership is a total, pure function of (content key, N): every key
+     has exactly one owner in [0, N), the same on every call — which is
+     what makes rerouting after a worker (or whole-fleet) restart
+     stable;
+   - the router is protocol-transparent: a client sees the same keyed
+     ok/cached replies it would get from a single server, and resends
+     land as cache hits on the owning worker;
+   - the topology a router reports matches the pure ownership map;
+   - the loadgen schedule is a pure function of its config, and
+     histogram quantiles are a pure function of the added multiset. *)
+
+open Lb_service
+module Json = Lb_observe.Json
+module Metrics = Lb_observe.Metrics
+
+let prop ?(count = 300) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let status_of json =
+  Option.value ~default:"?" (Option.bind (Json.member "status" json) Json.to_str_opt)
+
+(* ---- ownership ---- *)
+
+let t_owner_total_and_stable =
+  prop "owner: total, in range, deterministic"
+    (QCheck.make
+       ~print:(fun (tag, shards) -> Printf.sprintf "%S / %d shards" tag shards)
+       QCheck.Gen.(pair (string_size ~gen:printable (1 -- 16)) (1 -- 8)))
+    (fun (tag, shards) ->
+      let r = Request.echo tag in
+      let o = Shard.owner_of_request ~shards r in
+      o >= 0 && o < shards
+      && o = Shard.owner_of_request ~shards r
+      && o = Shard.owner ~shards (Request.key r))
+
+let t_owner_single_shard_owns_all =
+  prop "owner: one shard owns every key"
+    (QCheck.make QCheck.Gen.(string_size ~gen:printable (1 -- 16)))
+    (fun tag -> Shard.owner ~shards:1 (Request.key (Request.echo tag)) = 0)
+
+let t_worker_transports_distinct () =
+  List.iter
+    (fun base ->
+      let ws = List.init 5 (fun i -> Shard.worker_transport ~base i) in
+      let strs = List.map Transport.to_string ws in
+      Alcotest.(check int) "worker addresses are distinct" 5
+        (List.length (List.sort_uniq compare strs));
+      Alcotest.(check bool) "no worker collides with the router" false
+        (List.mem (Transport.to_string base) strs))
+    [
+      Transport.Unix_socket "/tmp/lbshard-base.sock";
+      Transport.Tcp { host = "127.0.0.1"; port = 9000 };
+    ]
+
+(* ---- the in-process fleet ---- *)
+
+let fresh_executor _shard =
+  Executor.create ~cache:(Cache.create ~capacity:64 ()) ~compute:Catalog.compute ()
+
+(* A 3-shard fleet on ephemeral loopback TCP (every listener gets its own
+   kernel-assigned port — the resolved-address plumbing is part of what's
+   under test): requests round-trip, resends are cache hits on the owning
+   worker, and the topology probe's per-shard forwarded counts equal the
+   pure ownership map's. *)
+let t_fleet_end_to_end () =
+  let shards = 3 in
+  let fleet =
+    Router.launch_fleet ~shards
+      ~transport:(Transport.Tcp { host = "127.0.0.1"; port = 0 })
+      ~executor_of:fresh_executor
+      ~log:(fun _ -> ())
+      ()
+  in
+  let transport = fleet.Router.address in
+  let reqs =
+    List.init 12 (fun i -> Request.echo ~size:8 ~work:2 (Printf.sprintf "fleet-%d" i))
+  in
+  let finally () = ignore (fleet.Router.stop ()) in
+  Fun.protect ~finally (fun () ->
+      Alcotest.(check int) "fleet resolved one address per shard" shards
+        (List.length fleet.Router.shards);
+      (match Client.request ~transport ~timeout_s:30.0 reqs with
+      | Error e -> Alcotest.fail (Client.error_message e)
+      | Ok replies ->
+        Alcotest.(check int) "every request answered" 12 (List.length replies);
+        List.iter
+          (fun r -> Alcotest.(check string) "routed reply ok" "ok" (status_of r))
+          replies);
+      (match Client.request ~transport ~timeout_s:30.0 reqs with
+      | Error e -> Alcotest.fail (Client.error_message e)
+      | Ok replies ->
+        List.iter
+          (fun r ->
+            Alcotest.(check bool) "resend is a cache hit on the owning worker" true
+              (Option.bind (Json.member "cached" r) Json.to_bool_opt = Some true))
+          replies);
+      let expected = Array.make shards 0 in
+      List.iter
+        (fun r ->
+          let o = Shard.owner_of_request ~shards r in
+          expected.(o) <- expected.(o) + 2)
+        reqs;
+      match
+        Client.call ~transport ~timeout_s:10.0 [ Json.Obj [ ("op", Json.Str "shards") ] ]
+      with
+      | Ok [ reply ] -> (
+        let data =
+          match Json.member "data" reply with
+          | Some d -> d
+          | None -> Alcotest.fail "shards probe carries no data"
+        in
+        Alcotest.(check int) "topology reports the shard count" shards
+          (Option.value ~default:(-1) (Option.bind (Json.member "shards" data) Json.to_int_opt));
+        match Json.member "workers" data with
+        | Some (Json.Arr ws) ->
+          Alcotest.(check int) "one topology row per worker" shards (List.length ws);
+          List.iteri
+            (fun i w ->
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d forwarded = pure ownership count" i)
+                expected.(i)
+                (Option.value ~default:(-1)
+                   (Option.bind (Json.member "forwarded" w) Json.to_int_opt)))
+            ws
+        | _ -> Alcotest.fail "workers array missing")
+      | Ok _ | Error _ -> Alcotest.fail "shards probe failed");
+  (* stop () already ran; relaunch the same topology with fresh caches and
+     replay the same batch — the per-shard distribution must be identical,
+     because ownership is a function of the key, not of fleet history.
+     This is the restart-stability contract. *)
+  let fleet2 =
+    Router.launch_fleet ~shards
+      ~transport:(Transport.Tcp { host = "127.0.0.1"; port = 0 })
+      ~executor_of:fresh_executor
+      ~log:(fun _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (fleet2.Router.stop ()))
+    (fun () ->
+      match Client.request ~transport:fleet2.Router.address ~timeout_s:30.0 reqs with
+      | Error e -> Alcotest.fail (Client.error_message e)
+      | Ok replies ->
+        List.iter
+          (fun r ->
+            Alcotest.(check string) "replayed batch ok on the restarted fleet" "ok"
+              (status_of r))
+          replies);
+  ()
+
+(* A router whose single worker is unreachable must answer with typed,
+   keyed error replies — never hang, never drop the connection. *)
+let t_router_dead_worker_typed_errors () =
+  let tmp = Filename.temp_file "lbshard_rt" "" in
+  Sys.remove tmp;
+  let listen = Transport.Unix_socket (tmp ^ ".sock") in
+  let resolved = Atomic.make None in
+  let router =
+    Domain.spawn (fun () ->
+        try
+          Metrics.with_registry (Metrics.create ()) (fun () ->
+              ignore
+                (Router.route ~transport:listen
+                   ~workers:[ Transport.Unix_socket "/nonexistent/lbshard-worker.sock" ]
+                   ~worker_timeout_s:2.0
+                   ~ready:(fun t -> Atomic.set resolved (Some t))
+                   ~log:(fun _ -> ())
+                   ()))
+        with _ -> ())
+  in
+  let rec await k =
+    match Atomic.get resolved with
+    | Some t -> t
+    | None ->
+      if k = 0 then failwith "router never bound"
+      else begin
+        Unix.sleepf 0.01;
+        await (k - 1)
+      end
+  in
+  let transport = await 500 in
+  let finally () =
+    (try
+       ignore
+         (Client.call ~transport ~timeout_s:5.0 [ Json.Obj [ ("op", Json.Str "shutdown") ] ])
+     with _ -> ());
+    Domain.join router
+  in
+  Fun.protect ~finally (fun () ->
+      let req = Request.echo "dead-worker" in
+      match Client.request ~transport ~timeout_s:15.0 [ req ] with
+      | Error e -> Alcotest.fail (Client.error_message e)
+      | Ok [ reply ] ->
+        Alcotest.(check string) "unreachable shard yields a typed error" "error"
+          (status_of reply);
+        Alcotest.(check bool) "the error reply carries the request key" true
+          (Option.bind (Json.member "key" reply) Json.to_str_opt = Some (Request.key req))
+      | Ok _ -> Alcotest.fail "expected exactly one reply")
+
+(* ---- the latency histogram ---- *)
+
+let t_histogram_quantiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i *. 0.001)
+  done;
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  Alcotest.(check bool) "p50 within bucket tolerance of 50ms" true
+    (Float.abs (Histogram.quantile h 0.5 -. 0.050) /. 0.050 < 0.05);
+  Alcotest.(check (float 1e-12)) "q=1 is the exact max" 0.1 (Histogram.quantile h 1.0);
+  Alcotest.(check (float 1e-12)) "q=0 is the exact min" 0.001 (Histogram.quantile h 0.0);
+  (try
+     ignore (Histogram.quantile h 1.5);
+     Alcotest.fail "q outside [0,1] must raise"
+   with Invalid_argument _ -> ());
+  Alcotest.(check (float 0.0)) "empty histogram quantile is 0" 0.0
+    (Histogram.quantile (Histogram.create ()) 0.9)
+
+let t_histogram_merge_deterministic () =
+  (* Interleave one value stream into two histograms; their merge must
+     agree with the histogram that saw everything — the structure is a
+     pure function of the multiset, not of arrival order. *)
+  let xs = List.init 200 (fun i -> float_of_int (i * 7919 mod 200) *. 0.0005) in
+  let a = Histogram.create () and b = Histogram.create () and whole = Histogram.create () in
+  List.iteri
+    (fun i v ->
+      Histogram.add (if i mod 2 = 0 then a else b) v;
+      Histogram.add whole v)
+    xs;
+  let merged = Histogram.merge a b in
+  Alcotest.(check int) "counts add under merge" 200 (Histogram.count merged);
+  Alcotest.(check (float 1e-12)) "sums add under merge" (Histogram.sum whole)
+    (Histogram.sum merged);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "q=%g agrees with the unsplit stream" q)
+        (Histogram.quantile whole q) (Histogram.quantile merged q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+(* ---- the load generator's schedule ---- *)
+
+let t_loadgen_schedule_deterministic () =
+  let cfg =
+    { Loadgen.default with clients = 2; requests_per_client = 40; warmup = 5; seed = 9 }
+  in
+  let a = Loadgen.schedule cfg ~client:0 in
+  Alcotest.(check bool) "same seed, same schedule" true (a = Loadgen.schedule cfg ~client:0);
+  Alcotest.(check int) "warmup + measured requests" 45 (List.length a);
+  Alcotest.(check bool) "different seed, different schedule" false
+    (a = Loadgen.schedule { cfg with seed = 10 } ~client:0);
+  Alcotest.(check bool) "different client, different schedule" false
+    (a = Loadgen.schedule cfg ~client:1)
+
+let t_loadgen_mix_respects_ratio () =
+  let cfg =
+    { Loadgen.default with hit_ratio = 0.0; hot_tags = 4; requests_per_client = 50; warmup = 0 }
+  in
+  let keys schedule = List.sort_uniq compare (List.map Request.key schedule) in
+  Alcotest.(check int) "hit_ratio 0: every key distinct (all misses)" 50
+    (List.length (keys (Loadgen.schedule cfg ~client:0)));
+  Alcotest.(check bool) "hit_ratio 1: keys drawn from the hot pool" true
+    (List.length (keys (Loadgen.schedule { cfg with hit_ratio = 1.0 } ~client:0)) <= 4)
+
+(* The generator against a real (single-server-equivalent) 1-shard fleet:
+   every measured request lands, and the bench payload rows carry the
+   shard label. *)
+let t_loadgen_against_fleet () =
+  let fleet =
+    Router.launch_fleet ~shards:1
+      ~transport:(Transport.Tcp { host = "127.0.0.1"; port = 0 })
+      ~executor_of:fresh_executor
+      ~log:(fun _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (fleet.Router.stop ()))
+    (fun () ->
+      let cfg =
+        {
+          Loadgen.default with
+          clients = 2;
+          requests_per_client = 15;
+          warmup = 2;
+          work = 50;
+          timeout_s = 30.0;
+        }
+      in
+      let r = Loadgen.run ~transport:fleet.Router.address ~shards:1 cfg in
+      Alcotest.(check int) "all measured requests recorded" 30 r.Loadgen.measured;
+      Alcotest.(check int) "no errors against a healthy fleet" 0 r.Loadgen.errors;
+      Alcotest.(check bool) "throughput is positive" true (r.Loadgen.throughput_rps > 0.0);
+      match Loadgen.bench_payload r with
+      | Json.Obj fields -> (
+        match List.assoc_opt "benchmarks" fields with
+        | Some (Json.Arr rows) ->
+          let names =
+            List.filter_map
+              (fun row -> Option.bind (Json.member "name" row) Json.to_str_opt)
+              rows
+          in
+          List.iter
+            (fun suffix ->
+              Alcotest.(check bool)
+                (Printf.sprintf "bench row loadgen/1shard/%s present" suffix)
+                true
+                (List.mem (Printf.sprintf "loadgen/1shard/%s" suffix) names))
+            [ "p50"; "p99"; "p999"; "mean" ]
+        | _ -> Alcotest.fail "bench payload has no benchmarks array")
+      | _ -> Alcotest.fail "bench payload is not an object")
+
+let suite =
+  [
+    t_owner_total_and_stable;
+    t_owner_single_shard_owns_all;
+    Alcotest.test_case "shard: worker addresses derive distinct" `Quick
+      t_worker_transports_distinct;
+    Alcotest.test_case "fleet: route, cache on owner, topology = ownership map" `Slow
+      t_fleet_end_to_end;
+    Alcotest.test_case "router: unreachable shard yields typed keyed errors" `Slow
+      t_router_dead_worker_typed_errors;
+    Alcotest.test_case "histogram: quantiles, exact extremes, validation" `Quick
+      t_histogram_quantiles;
+    Alcotest.test_case "histogram: merge agrees with the unsplit stream" `Quick
+      t_histogram_merge_deterministic;
+    Alcotest.test_case "loadgen: schedule is a pure function of the config" `Quick
+      t_loadgen_schedule_deterministic;
+    Alcotest.test_case "loadgen: hit ratio shapes the key population" `Quick
+      t_loadgen_mix_respects_ratio;
+    Alcotest.test_case "loadgen: a fleet run measures every request" `Slow
+      t_loadgen_against_fleet;
+  ]
