@@ -17,6 +17,7 @@
      bench/main.exe time         timing benches only
      bench/main.exe service      service-layer cold vs warm-cache + dedup bench
      bench/main.exe chaos        echo round trips, clean wire vs chaos plan
+     bench/main.exe hw           hardware backend: wall-clock curves on real domains
 
    A `-j N` / `--jobs N` pair anywhere in the arguments fans each experiment's
    independent rows across N domains (0 = auto); tables are identical at any
@@ -456,6 +457,57 @@ let charts () =
            points = cas_points };
        ])
 
+(* ---- hardware backend: wall-clock curves on real domains ---- *)
+
+(* The hardware counterpart of [charts]: the same constructions and the
+   same fetch&inc workload, but the y-axis is measured nanoseconds on
+   OCaml 5 domains rather than counted shared accesses.  Every sweep
+   cell also runs the Wing–Gong checker over its recorded history, so a
+   BENCH_hardware.json row is by construction a certified run.  Rows are
+   Bench_gate-compatible (name + ns_per_run); ops_per_s and the access
+   costs ride along un-gated. *)
+let hardware () =
+  let constructions =
+    List.filter (fun (c : Iface.t) -> c.Iface.name <> "consensus-list") Fault_targets.all
+  in
+  let ns = Hw_bench.default_ns () in
+  Format.printf "== Hardware backend: %d domain(s) available, sweeping n in {%s}@.@."
+    (Domain.recommended_domain_count ())
+    (String.concat ", " (List.map string_of_int ns));
+  let rows = Hw_bench.sweep ~ops_per_process:256 ~seed:1 ~check:true ~constructions ~ns () in
+  Format.printf "row                      | ns/op       | ops/s      | gave up | max cost | lin@.";
+  Format.printf "%s@." (String.make 80 '-');
+  List.iter
+    (fun (r : Hw_bench.row) ->
+      Format.printf "%-24s | %11.1f | %10.0f | %7d | %8d | %s@." (Hw_bench.row_name r)
+        r.Hw_bench.ns_per_op r.Hw_bench.ops_per_s r.Hw_bench.failed r.Hw_bench.max_cost
+        (match r.Hw_bench.linearizable with
+        | Some true -> "yes"
+        | Some false -> "NO"
+        | None -> "-"))
+    rows;
+  let curve name =
+    List.filter_map
+      (fun (r : Hw_bench.row) ->
+        if r.Hw_bench.construction = name then
+          Some (r.Hw_bench.n, int_of_float r.Hw_bench.ns_per_op)
+        else None)
+      rows
+  in
+  Format.printf "@.== Measured wall-clock ns per operation (fetch&inc, real domains)@.@.%s@."
+    (Lb_experiments.Chart.render ~width:64 ~height:18
+       [
+         { Lb_experiments.Chart.label = "herlihy"; mark = 'h'; points = curve "herlihy" };
+         { Lb_experiments.Chart.label = "adt-tree"; mark = 't'; points = curve "adt-tree" };
+         { Lb_experiments.Chart.label = "direct CAS"; mark = '_'; points = curve "direct" };
+       ]);
+  let path = Hw_bench.append rows in
+  Format.printf "appended %d hardware rows to %s@." (List.length rows) path;
+  if List.exists (fun (r : Hw_bench.row) -> r.Hw_bench.linearizable = Some false) rows then begin
+    Format.printf "hardware history FAILED linearizability@.";
+    exit 1
+  end
+
 (* Strip `-j N` / `--jobs N` from the argument list; 0 means auto. *)
 let rec extract_jobs = function
   | [] -> (1, [])
@@ -488,9 +540,11 @@ let () =
   | "chart" :: _ -> charts ()
   | "service" :: _ -> service ~jobs ()
   | "chaos" :: _ -> chaos_bench ()
+  | "hw" :: _ -> hardware ()
   | _ ->
     run_tables ~jobs (Lb_experiments.Experiments.thunks ~jobs ~quick:false ());
     charts ();
     timing ();
     service ~jobs ();
-    chaos_bench ()
+    chaos_bench ();
+    hardware ()

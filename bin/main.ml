@@ -493,7 +493,8 @@ let conform_cmd =
              stale LL, lost SC/swap writes) and require the checker to kill every applicable \
              mutant.")
   in
-  let run () target n seed typ plan_name ops schedules max_states mutate =
+  let run () target n seed typ plan_name ops schedules max_states mutate jobs =
+    let jobs = resolve_jobs jobs in
     let constructions =
       if target = "all" then Conformance.constructions
       else
@@ -508,7 +509,9 @@ let conform_cmd =
       if mutate then
         {
           Conformance.cells = [];
-          mutants = Conformance.mutation_matrix ~constructions ~n ~ops ~schedules ~seed ~max_states ();
+          mutants =
+            Conformance.mutation_matrix ~jobs ~constructions ~n ~ops ~schedules ~seed
+              ~max_states ();
         }
       else begin
         let types =
@@ -533,8 +536,8 @@ let conform_cmd =
         in
         {
           Conformance.cells =
-            Conformance.fuzz_matrix ~constructions ~types ~plans ~n ~ops ~schedules ~seed
-              ~max_states ();
+            Conformance.fuzz_matrix ~jobs ~constructions ~types ~plans ~n ~ops ~schedules
+              ~seed ~max_states ();
           mutants = [];
         }
       end
@@ -551,7 +554,163 @@ let conform_cmd =
           violation).  With $(b,--mutate), verify the checker catches seeded bugs.")
     Term.(
       const run $ logging $ target_arg $ cn_arg $ seed_arg $ type_arg $ plan_arg $ ops_arg
-      $ schedules_arg $ max_states_arg $ mutate_flag)
+      $ schedules_arg $ max_states_arg $ mutate_flag $ jobs_arg)
+
+(* ---- hw ---- *)
+
+let hw_cmd =
+  let construction_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "construction" ] ~docv:"CONSTR"
+          ~doc:
+            "Construction to run on hardware: $(b,adt-tree), $(b,herlihy), $(b,direct), or \
+             $(b,all).")
+  in
+  let hn_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Domains (= processes).  Beyond the core count they timeshare.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 64 & info [ "ops" ] ~docv:"K" ~doc:"Operations per process.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Certify the recorded history with the Wing–Gong linearizability checker (exit 3 \
+             on a violation or a blown state budget).")
+  in
+  let bench_flag =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Sweep n over {1,2,4,8} ∪ {available domains} and append \
+             $(b,hardware/<construction>/<n>) rows to BENCH_hardware.json.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 500_000
+      & info [ "max-states" ] ~docv:"B" ~doc:"Linearizability checker state budget.")
+  in
+  let wakeup_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wakeup" ] ~docv:"ALGORITHM"
+          ~doc:"Run a wakeup-corpus algorithm on hardware instead of a construction.")
+  in
+  let constructions_of name =
+    let hw_targets =
+      List.filter (fun (c : Iface.t) -> c.Iface.name <> "consensus-list") Fault_targets.all
+    in
+    if name = "all" then hw_targets
+    else
+      match Fault_targets.find name with
+      | Some c -> [ c ]
+      | None ->
+        failwith (Printf.sprintf "unknown construction %S (adt-tree, herlihy, direct, all)" name)
+  in
+  let run_wakeup name n seed =
+    match Corpus.find name with
+    | None -> failwith (Printf.sprintf "unknown wakeup algorithm %S (see `lowerbound corpus`)" name)
+    | Some entry ->
+      let w = Hw_harness.run_wakeup ~make:entry.Corpus.make ~n ~seed () in
+      Format.printf "%s on hardware, n=%d: results %s  (%.3f ms, %d shared ops, max/pid %d)@."
+        entry.Corpus.name n
+        (String.concat " "
+           (List.map (fun (p, r) -> Printf.sprintf "p%d:%d" p r) w.Hw_harness.results))
+        (w.Hw_harness.welapsed_s *. 1e3) w.Hw_harness.wtotal_shared_ops
+        w.Hw_harness.wmax_shared_ops;
+      if w.Hw_harness.issues = [] then begin
+        Format.printf "wakeup conditions OK (bits decided; someone returned 1)@.";
+        0
+      end
+      else begin
+        List.iter (fun i -> Format.printf "ISSUE: %s@." i) w.Hw_harness.issues;
+        3
+      end
+  in
+  let run () construction n ops seed check bench max_states wakeup =
+    match wakeup with
+    | Some name -> run_wakeup name n seed
+    | None ->
+      let constructions = constructions_of construction in
+      if bench then begin
+        let rows =
+          Hw_bench.sweep ~ops_per_process:ops ~seed ~check ~constructions
+            ~ns:(Hw_bench.default_ns ()) ()
+        in
+        Format.printf "row                      | ns/op       | ops/s      | max cost | lin@.";
+        Format.printf "%s@." (String.make 72 '-');
+        List.iter
+          (fun (r : Hw_bench.row) ->
+            Format.printf "%-24s | %11.1f | %10.0f | %8d | %s@." (Hw_bench.row_name r)
+              r.Hw_bench.ns_per_op r.Hw_bench.ops_per_s r.Hw_bench.max_cost
+              (match r.Hw_bench.linearizable with
+              | Some true -> "yes"
+              | Some false -> "NO"
+              | None -> "-"))
+          rows;
+        let path = Hw_bench.append rows in
+        Format.printf "appended %d rows to %s@." (List.length rows) path;
+        if List.exists (fun (r : Hw_bench.row) -> r.Hw_bench.linearizable = Some false) rows
+        then 3
+        else 0
+      end
+      else begin
+        let spec = Hw_bench.spec in
+        let verdicts =
+          List.map
+            (fun (c : Iface.t) ->
+              let result =
+                Hw_harness.run ~construction:c ~spec ~n
+                  ~ops:(fun _ -> List.init ops (fun _ -> Value.Unit))
+                  ~seed ()
+              in
+              let completed = List.length result.Hw_harness.stats in
+              Format.printf
+                "%-15s n=%d: %d/%d ops completed, %d gave up — %.3f ms, %.0f ops/s, cost \
+                 max %d mean %.1f@."
+                c.Iface.name n completed ((n * ops) ) (List.length result.Hw_harness.failures)
+                (result.Hw_harness.elapsed_s *. 1e3)
+                (if result.Hw_harness.elapsed_s > 0.0 then
+                   float_of_int completed /. result.Hw_harness.elapsed_s
+                 else 0.0)
+                result.Hw_harness.max_cost result.Hw_harness.mean_cost;
+              if not check then true
+              else begin
+                match Hw_harness.check ~max_states ~spec result with
+                | Linearize.Linearizable { stats; _ } ->
+                  Format.printf "  history linearizable (%d states explored)@."
+                    stats.Linearize.states;
+                  true
+                | Linearize.Not_linearizable { bad_prefix; _ } ->
+                  Format.printf "  history NOT linearizable (bad prefix %d)@." bad_prefix;
+                  false
+                | Linearize.Budget_exhausted { budget; _ } ->
+                  Format.printf "  checker budget exhausted (%d states)@." budget;
+                  false
+              end)
+            constructions
+        in
+        if List.for_all Fun.id verdicts then 0 else 3
+      end
+  in
+  Cmd.v
+    (Cmd.info "hw"
+       ~doc:
+         "Run the universal constructions (or a wakeup algorithm) as native multicore code: \
+          one OCaml domain per process against Atomic LL/SC registers (Blelloch–Wei tagged \
+          indirection).  $(b,--check) certifies the recorded history with the simulator-side \
+          linearizability checker; $(b,--bench) records wall-clock latency/throughput curves \
+          into BENCH_hardware.json.")
+    Term.(
+      const run $ logging $ construction_arg $ hn_arg $ ops_arg $ seed_arg $ check_flag
+      $ bench_flag $ max_states_arg $ wakeup_arg)
 
 (* ---- explore ---- *)
 
@@ -1475,8 +1634,8 @@ let main_cmd =
     (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
     [
       exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
-      upsets_cmd; faults_cmd; conform_cmd; serve_cmd; request_cmd; chaos_cmd; shard_cmd;
-      loadgen_cmd;
+      upsets_cmd; faults_cmd; conform_cmd; hw_cmd; serve_cmd; request_cmd; chaos_cmd;
+      shard_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

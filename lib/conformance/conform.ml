@@ -59,30 +59,39 @@ let hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states () =
     outcome;
   }
 
-let mutation_matrix ?(constructions = constructions) ?(mutants = Mutate.all) ~n ~ops ~schedules
-    ~seed ~max_states () =
-  List.concat_map
-    (fun construction ->
-      List.map
-        (fun mutant -> hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states ())
-        mutants)
-    constructions
+(* Both matrices fan their cells across a domain pool.  Every cell is a
+   pure function of its (construction, type/mutant, plan, seed) key —
+   the fuzzer derives all randomness from the seed — and [Pool.map] is
+   order-preserving, so reports are byte-identical at every job
+   count. *)
+let mutation_matrix ?jobs ?(constructions = constructions) ?(mutants = Mutate.all) ~n ~ops
+    ~schedules ~seed ~max_states () =
+  let cells =
+    List.concat_map
+      (fun construction -> List.map (fun mutant -> (construction, mutant)) mutants)
+      constructions
+  in
+  Lb_exec.Pool.map ?jobs
+    (fun (construction, mutant) ->
+      hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states ())
+    cells
 
-let fuzz_matrix ?(constructions = constructions) ?(types = Fuzz.object_types)
+let fuzz_matrix ?jobs ?(constructions = constructions) ?(types = Fuzz.object_types)
     ?(plans = [ ("none", Fault_plan.none) ]) ~n ~ops ~schedules ~seed ~max_states () =
-  List.concat_map
-    (fun construction ->
-      List.concat_map
-        (fun ot ->
-          if not (Fuzz.supports ~construction ot) then []
-          else
-            List.map
-              (fun (plan_name, plan) ->
-                Fuzz.check_cell ~construction ~ot ~plan_name ~plan ~n ~ops ~schedules ~seed
-                  ~max_states ())
-              plans)
-        types)
-    constructions
+  let cells =
+    List.concat_map
+      (fun construction ->
+        List.concat_map
+          (fun ot ->
+            if not (Fuzz.supports ~construction ot) then []
+            else List.map (fun plan -> (construction, ot, plan)) plans)
+          types)
+      constructions
+  in
+  Lb_exec.Pool.map ?jobs
+    (fun (construction, ot, (plan_name, plan)) ->
+      Fuzz.check_cell ~construction ~ot ~plan_name ~plan ~n ~ops ~schedules ~seed ~max_states ())
+    cells
 
 type report = { cells : Fuzz.cell list; mutants : mutant_cell list }
 

@@ -45,6 +45,7 @@ val hunt_mutant :
   mutant_cell
 
 val mutation_matrix :
+  ?jobs:int ->
   ?constructions:Iface.t list ->
   ?mutants:Mutate.t list ->
   n:int ->
@@ -54,8 +55,13 @@ val mutation_matrix :
   max_states:int ->
   unit ->
   mutant_cell list
+(** [jobs] fans the (construction, mutant) cells across a
+    {!Lb_exec.Pool} (default 1, sequential); every cell is a pure
+    function of its key and the seed, and the pool preserves order, so
+    the report is identical at every job count. *)
 
 val fuzz_matrix :
+  ?jobs:int ->
   ?constructions:Iface.t list ->
   ?types:Fuzz.object_type list ->
   ?plans:(string * Fault_plan.t) list ->
@@ -67,7 +73,7 @@ val fuzz_matrix :
   unit ->
   Fuzz.cell list
 (** Cells a construction does not support (the direct target on anything
-    but fetch-inc) are skipped. *)
+    but fetch-inc) are skipped.  [jobs] as in {!mutation_matrix}. *)
 
 type report = { cells : Fuzz.cell list; mutants : mutant_cell list }
 

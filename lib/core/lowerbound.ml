@@ -32,7 +32,11 @@
       operations, the Wing–Gong checker, mutation testing, differential
       schedule fuzzing and counterexample shrinking;
     - {!Problem}, {!Reductions}, {!Direct_algorithms}, {!Randomized},
-      {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus.
+      {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus;
+    - {!Hw_memory}, {!Hw_recorder}, {!Hw_run}, {!Hw_harness}, {!Hw_bench}:
+      the hardware backend — the same free-monad programs interpreted on
+      real OCaml 5 domains over [Atomic] LL/SC cells (Blelloch–Wei tagged
+      indirection), with recorded histories certified by {!Linearize}.
 
     Two libraries sit {e above} this facade in the dependency DAG and so
     cannot be re-exported from it: [Lb_experiments] (E1–E14 as
@@ -125,6 +129,13 @@ module Mutate = Lb_conformance.Mutate
 module Schedule_fuzz = Lb_conformance.Fuzz
 module Shrink = Lb_conformance.Shrink
 module Conformance = Lb_conformance.Conform
+
+(* Hardware backend *)
+module Hw_memory = Lb_hardware.Hw_memory
+module Hw_recorder = Lb_hardware.Recorder
+module Hw_run = Lb_hardware.Hw_run
+module Hw_harness = Lb_hardware.Hw_harness
+module Hw_bench = Lb_hardware.Hw_bench
 
 (* Wakeup *)
 module Problem = Lb_wakeup.Problem

@@ -1,0 +1,60 @@
+(** The hardware benchmark sweep: wall-clock latency and throughput rows
+    per (construction, n), written to [BENCH_hardware.json] in the
+    Bench_gate-compatible shape ([name] + [ns_per_run], with throughput
+    and access-cost fields riding along un-gated).
+
+    Row names are [hardware/<construction>/<n>]; the workload is
+    fetch&increment ({!Lb_objects.Counters.fetch_inc}), the object every
+    construction supports and the lower bound's canonical target. *)
+
+open Lb_universal
+
+type row = {
+  construction : string;
+  n : int;
+  ops_per_process : int;
+  completed : int;
+  failed : int;  (** bounded-retry give-ups under contention. *)
+  ns_per_op : float;  (** mean invocation-to-response latency. *)
+  ops_per_s : float;
+  max_cost : int;  (** max single-op shared-access count — compare with the simulator's. *)
+  mean_cost : float;
+  linearizable : bool option;
+}
+
+val default_ns : unit -> int list
+(** [{1, 2, 4, 8} ∪ {available domains}], sorted.  Counts beyond the
+    core count oversubscribe (domains timeshare) — the curve is still
+    measured, just noisier; see docs/PERFORMANCE.md. *)
+
+val spec : Lb_objects.Spec.t
+
+val measure :
+  ?check:bool ->
+  ?max_states:int ->
+  construction:Iface.t ->
+  n:int ->
+  ops_per_process:int ->
+  seed:int ->
+  unit ->
+  row
+(** One cell.  [check] runs the Wing–Gong checker on the recorded
+    history ([linearizable] stays [None] when skipped or
+    budget-exhausted). *)
+
+val sweep :
+  ?ops_per_process:int ->
+  ?seed:int ->
+  ?check:bool ->
+  constructions:Iface.t list ->
+  ns:int list ->
+  unit ->
+  row list
+(** Every (construction, n) cell; [ops_per_process] defaults to 256. *)
+
+val row_name : row -> string
+val row_json : row -> Lb_observe.Json.t
+val payload : row list -> Lb_observe.Json.t
+
+val append : ?dir:string -> row list -> string
+(** Append one snapshot to [BENCH_hardware.json]; returns the path. *)

@@ -1,0 +1,22 @@
+(* The second interpreter for {!Lb_runtime.Program}: where the
+   simulator's {!Lb_runtime.Process} advances one shared-memory step at
+   a time under a scheduler, this one runs the whole program to
+   completion on the calling domain — the "scheduler" is the operating
+   system and the memory is real. *)
+
+open Lb_runtime
+
+(* Tail-recursive and allocation-light: the only allocations are the
+   closures the program itself builds. *)
+let exec mem ~pid ~(assignment : Coin.assignment) program =
+  let rec go tosses p =
+    match (p : _ Program.t) with
+    | Program.Return x -> x
+    | Program.Toss k ->
+      (* Toss indices restart at 0 for each program, matching the
+         simulator harness's one-Process-per-operation discipline — the
+         same (seed, pid, idx) stream on both backends. *)
+      go (tosses + 1) (k (assignment ~pid ~idx:tosses))
+    | Program.Op (inv, k) -> go tosses (k (Hw_memory.apply mem ~pid inv))
+  in
+  go 0 program

@@ -1,0 +1,13 @@
+(** Direct interpretation of {!Lb_runtime.Program} programs against a
+    {!Hw_memory}: the hardware counterpart of the simulator's
+    step-machine {!Lb_runtime.Process}. *)
+
+open Lb_runtime
+
+val exec : Hw_memory.t -> pid:int -> assignment:Coin.assignment -> 'a Program.t -> 'a
+(** Run the program to completion on the calling domain (which must own
+    [pid]).  Coin tosses draw [assignment ~pid ~idx] with [idx] counting
+    from 0 within this program, the same stream the simulator harness
+    gives each operation.  Exceptions from the program (e.g. the
+    [Failure] of an exhausted {!Lb_runtime.Program.retry_until}) and
+    from the memory propagate to the caller. *)

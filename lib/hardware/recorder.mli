@@ -1,0 +1,49 @@
+(** Per-domain operation recorder: a fixed-capacity ring of parallel
+    arrays, written on the hot path without allocating (int stores,
+    unboxed float stores, and pointer stores of values the caller
+    already holds), flushed to a list after the run.
+
+    Each domain owns exactly one recorder; nothing here is
+    thread-safe. *)
+
+open Lb_memory
+
+type t
+
+val create : capacity:int -> t
+
+val record :
+  t ->
+  seq:int ->
+  op:Value.t ->
+  response:Value.t ->
+  invoked:float ->
+  responded:float ->
+  cost:int ->
+  unit
+(** Append one completed operation.  When the ring is full the oldest
+    record is overwritten (and counted by {!dropped}) — measurement must
+    degrade by forgetting history, never by stalling the measured
+    operation. *)
+
+type entry = {
+  seq : int;
+  op : Value.t;
+  response : Value.t;
+  invoked : float;  (** wall-clock seconds at invocation. *)
+  responded : float;  (** wall-clock seconds at response. *)
+  cost : int;  (** shared-memory operations this op executed. *)
+}
+
+val entries : t -> entry list
+(** The retained records, oldest first.  With no wraparound this is
+    every recorded op in recording order; after wraparound it is the
+    most recent [capacity] of them. *)
+
+val total : t -> int
+(** Records ever written (including overwritten ones). *)
+
+val capacity : t -> int
+
+val dropped : t -> int
+(** [max 0 (total - capacity)]: records lost to wraparound. *)

@@ -1,37 +1,99 @@
 type t = Unix_socket of string | Tcp of { host : string; port : int }
 
-let tcp_of_hostport s =
-  match String.rindex_opt s ':' with
-  | None -> Error (Printf.sprintf "TCP address %S lacks a :PORT suffix" s)
-  | Some i -> (
-    let host = String.sub s 0 i in
-    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
-    if host = "" then Error (Printf.sprintf "TCP address %S lacks a host" s)
-    else
-      match int_of_string_opt port_s with
-      | Some port when port >= 0 && port <= 65535 -> Ok (Tcp { host; port })
-      | Some port -> Error (Printf.sprintf "port %d out of range" port)
-      | None -> Error (Printf.sprintf "bad port %S" port_s))
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
+let port_of_string port_s =
+  if not (is_digits port_s) then Error (Printf.sprintf "bad port %S" port_s)
+  else
+    match int_of_string_opt port_s with
+    | Some port when port >= 0 && port <= 65535 -> Ok port
+    | Some port -> Error (Printf.sprintf "port %d out of range" port)
+    | None -> Error (Printf.sprintf "bad port %S" port_s)
+
+let tcp ~host port_s =
+  if host = "" then Error "TCP address lacks a host"
+  else Result.map (fun port -> Tcp { host; port }) (port_of_string port_s)
+
+(* "[HOST]:PORT" — the bracketed form that makes colon-bearing hosts
+   (IPv6 literals like ::1) unambiguous.  The host is everything inside
+   the outermost brackets ([rindex], so a ']' inside the host cannot
+   truncate it). *)
+let parse_bracketed s =
+  match String.rindex_opt s ']' with
+  | Some i when i >= 2 && i + 2 < String.length s && s.[i + 1] = ':' ->
+    tcp ~host:(String.sub s 1 (i - 1)) (String.sub s (i + 2) (String.length s - i - 2))
+  | Some _ | None -> Error (Printf.sprintf "malformed bracketed address %S (want [HOST]:PORT)" s)
+
+(* "HOST:PORT" after an explicit tcp: prefix.  A host containing ':'
+   must be bracketed: guessing which colon splits "fe80::1" would pick
+   silently between host "fe80:" port 1 and a parse error depending on
+   the suffix — exactly the last-colon heuristic bug this replaces. *)
+let tcp_of_hostport s =
+  if String.length s > 0 && s.[0] = '[' then parse_bracketed s
+  else
+    match String.index_opt s ':' with
+    | None -> Error (Printf.sprintf "TCP address %S lacks a :PORT suffix" s)
+    | Some i ->
+      if String.rindex s ':' <> i then
+        Error
+          (Printf.sprintf "ambiguous TCP address %S: bracket colon-bearing hosts as [HOST]:PORT"
+             s)
+      else tcp ~host:(String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+
+(* The bare-address heuristic: exactly one ':', non-empty slash-free
+   host, all-digit port.  "::1" (no host before the first colon),
+   "host:" (empty port), "a:b:1" (two colons) and "/tmp/x.sock:8080"
+   (hostnames never contain '/') all fall through to Unix_socket — a
+   path is the only reading that cannot silently drop information. *)
 let looks_like_hostport s =
-  match String.rindex_opt s ':' with
+  match String.index_opt s ':' with
   | None -> false
   | Some i ->
-    let port = String.sub s (i + 1) (String.length s - i - 1) in
-    i > 0 && port <> "" && String.for_all (fun c -> c >= '0' && c <= '9') port
+    String.rindex s ':' = i
+    && i > 0
+    && (not (String.contains (String.sub s 0 i) '/'))
+    && is_digits (String.sub s (i + 1) (String.length s - i - 1))
+
+let strip_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
 
 let of_string s =
   if s = "" then Error "empty address"
-  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
-    tcp_of_hostport (String.sub s 4 (String.length s - 4))
-  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
-    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
-  else if looks_like_hostport s then tcp_of_hostport s
-  else Ok (Unix_socket s)
+  else
+    match strip_prefix ~prefix:"tcp:" s with
+    | Some "" -> Error "tcp: prefix with no HOST:PORT"
+    | Some rest -> tcp_of_hostport rest
+    | None -> (
+      match strip_prefix ~prefix:"unix:" s with
+      | Some "" -> Error "unix: prefix with no path"
+      | Some path -> Ok (Unix_socket path)
+      | None ->
+        if s.[0] = '[' then parse_bracketed s
+        else if looks_like_hostport s then tcp_of_hostport s
+        else Ok (Unix_socket s))
 
-let to_string = function
-  | Unix_socket path -> path
-  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+(* The round-trip invariant [of_string (to_string t) = Ok t] is kept by
+   construction: render the plain form, and if parsing it back would not
+   recover [t] (a socket path that looks like host:port or starts with a
+   reserved prefix; a host named "unix"), fall back to the explicit
+   prefixed form, which always parses to the intended constructor. *)
+let to_string t =
+  let plain =
+    match t with
+    | Unix_socket path -> path
+    | Tcp { host; port } ->
+      if String.contains host ':' then Printf.sprintf "[%s]:%d" host port
+      else Printf.sprintf "%s:%d" host port
+  in
+  match of_string plain with
+  | Ok t' when t' = t -> plain
+  | Ok _ | Error _ -> (
+    match t with
+    | Unix_socket path -> "unix:" ^ path
+    | Tcp _ -> "tcp:" ^ plain)
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

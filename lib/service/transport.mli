@@ -31,17 +31,34 @@ type t =
 
 val of_string : string -> (t, string) result
 (** Parse a CLI address argument:
-    - ["tcp:HOST:PORT"] — explicitly TCP;
-    - ["unix:PATH"] — explicitly a socket path;
-    - ["HOST:PORT"] (the suffix after the last [':'] all digits) — TCP;
-    - anything else — a Unix socket path.
+    - ["tcp:HOST:PORT"] / ["tcp:[HOST]:PORT"] — explicitly TCP; the
+      bracketed form is required when [HOST] itself contains [':'] (an
+      IPv6 literal such as [::1]) — an unbracketed multi-colon remainder
+      is an error, never a guess;
+    - ["unix:PATH"] — explicitly a socket path (any [PATH], including
+      ones containing [:digits]);
+    - ["[HOST]:PORT"] — TCP with a bracketed (typically IPv6) host;
+    - ["HOST:PORT"] (exactly one [':'], non-empty slash-free host,
+      all-digit port) — TCP;
+    - anything else — a Unix socket path.  In particular ["::1"] (no
+      host before the colon), ["host:"] (trailing colon), ["a:b:1"]
+      (two colons, unbracketed, no prefix) and ["/tmp/x.sock:8080"]
+      (hostnames never contain ['/']) are socket paths: a path is the
+      only reading that cannot silently drop information.
 
-    [Error] on a malformed or out-of-range port. *)
+    [Error] on a malformed or out-of-range port, on a bare ["tcp:"] /
+    ["unix:"] with an empty remainder, and on ambiguous or malformed
+    bracketed forms.  The qcheck round-trip properties in
+    [suite_service] pin [of_string (to_string t) = Ok t]. *)
 
 val to_string : t -> string
 (** The parseable rendering: the bare path for {!Unix_socket},
-    [host:port] for {!Tcp}.  [of_string (to_string t) = Ok t] for every
-    [t] whose path does not itself look like [host:port]. *)
+    [host:port] (or [\[host\]:port] for a colon-bearing host) for
+    {!Tcp}.  When the plain form would parse back as something else — a
+    socket path that itself looks like [host:port] or starts with a
+    reserved prefix, a TCP host literally named ["unix"] — the explicit
+    ["unix:"] / ["tcp:"] prefixed form is emitted instead, keeping
+    [of_string (to_string t) = Ok t] by construction. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -22,4 +22,5 @@ let () =
       ("shard", Suite_shard.suite);
       ("chaos", Suite_chaos.suite);
       ("conformance", Suite_conformance.suite);
+      ("hardware", Suite_hardware.suite);
     ]

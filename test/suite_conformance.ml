@@ -447,6 +447,27 @@ let test_conform_report_json () =
   | Ok j -> Alcotest.(check bool) "JSON round-trip" true (j = json)
   | Error e -> Alcotest.failf "report JSON unparsable: %s" e
 
+(* Satellite: the matrices fan their cells across Exec.Pool, and every
+   cell is a pure function of (key, seed) with the pool preserving
+   order — so the rendered report must be byte-identical at any job
+   count.  This is what lets `lowerbound conform --jobs N` claim the
+   same verdict as a sequential run. *)
+let test_matrix_jobs_invariant () =
+  let run jobs =
+    let mutants =
+      Conformance.mutation_matrix ~jobs ~constructions:[ herlihy ] ~n:2 ~ops:2 ~schedules:5
+        ~seed:7 ~max_states:60_000 ()
+    in
+    let cells =
+      Conformance.fuzz_matrix ~jobs ~constructions:[ herlihy ] ~types:[ fetch_inc ] ~n:2
+        ~ops:2 ~schedules:5 ~seed:7 ~max_states:60_000 ()
+    in
+    Json.to_string (Conformance.json_of_report { Conformance.cells; mutants })
+  in
+  let sequential = run 1 in
+  Alcotest.(check string) "jobs=3 report = sequential report" sequential (run 3);
+  Alcotest.(check string) "jobs=0 (auto) report = sequential report" sequential (run 0)
+
 let suite =
   [
     Alcotest.test_case "history: of_events lifecycle + ghosts" `Quick test_history_of_events;
@@ -474,4 +495,6 @@ let suite =
     Alcotest.test_case "fuzz: crash-recovery plan conforms" `Quick
       test_fuzz_faulted_cell_not_failing;
     Alcotest.test_case "conform: report gate + JSON" `Quick test_conform_report_json;
+    Alcotest.test_case "conform: matrices invariant under --jobs" `Slow
+      test_matrix_jobs_invariant;
   ]

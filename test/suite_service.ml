@@ -939,6 +939,93 @@ let t_tcp_unix_parity () =
   Alcotest.(check string) "cache-hit replies are byte-identical across transports"
     !via_unix !via_tcp
 
+(* ---- the transport address grammar ----
+
+   The parser must never guess: colon-bearing hosts need brackets,
+   prefix-less strings fall back to a socket path unless they are
+   unambiguously HOST:PORT, and the printer keeps the round-trip
+   [of_string (to_string t) = Ok t] by construction (falling back to
+   the explicit "unix:"/"tcp:" prefix whenever the plain rendering
+   would parse as something else). *)
+
+let transport_t = Alcotest.testable Transport.pp ( = )
+
+let t_transport_grammar () =
+  let ok s expect =
+    Alcotest.(check (result transport_t string)) s (Ok expect) (Transport.of_string s)
+  in
+  let err s =
+    match Transport.of_string s with
+    | Error _ -> ()
+    | Ok t -> Alcotest.failf "%S must not parse (got %s)" s (Transport.to_string t)
+  in
+  ok "localhost:8080" (Transport.Tcp { host = "localhost"; port = 8080 });
+  ok "[::1]:80" (Transport.Tcp { host = "::1"; port = 80 });
+  ok "tcp:[fe80::2]:443" (Transport.Tcp { host = "fe80::2"; port = 443 });
+  ok "tcp:db.internal:5432" (Transport.Tcp { host = "db.internal"; port = 5432 });
+  ok "tcp:localhost:0" (Transport.Tcp { host = "localhost"; port = 0 });
+  (* paths, not truncated TCP guesses *)
+  ok "::1" (Transport.Unix_socket "::1");
+  ok "host:" (Transport.Unix_socket "host:");
+  ok "a:b:1" (Transport.Unix_socket "a:b:1");
+  ok "/var/run/app.sock:8080" (Transport.Unix_socket "/var/run/app.sock:8080");
+  ok "unix:/var/run/app.sock:8080" (Transport.Unix_socket "/var/run/app.sock:8080");
+  ok "unix:localhost:80" (Transport.Unix_socket "localhost:80");
+  ok "/tmp/lb.sock" (Transport.Unix_socket "/tmp/lb.sock");
+  (* malformed or ambiguous: errors, never guesses *)
+  err "";
+  err "tcp:";
+  err "unix:";
+  err "tcp:a:b:1";
+  err "tcp:host";
+  err "tcp:host:";
+  err "tcp::80";
+  err "tcp:host:70000";
+  err "tcp:host:8o80";
+  err "[::1]80";
+  err "[]:80"
+
+let print_transport = function
+  | Transport.Unix_socket p -> Printf.sprintf "Unix_socket %S" p
+  | Transport.Tcp { host; port } -> Printf.sprintf "Tcp {host = %S; port = %d}" host port
+
+let gen_transport =
+  QCheck.Gen.(
+    let host_char = oneofl [ 'a'; 'z'; 'A'; '0'; '9'; '.'; '-'; ':' ] in
+    let path_char = oneofl [ 'a'; 'z'; '/'; ':'; '.'; '-'; '0'; '9'; '['; ']'; '_' ] in
+    oneof
+      [
+        (let* path = string_size ~gen:path_char (1 -- 20) in
+         return (Transport.Unix_socket path));
+        (let* host = string_size ~gen:host_char (1 -- 12) in
+         let* port = 0 -- 65535 in
+         return (Transport.Tcp { host; port }));
+        (* paths engineered to collide with the address grammar *)
+        (let* prefix = oneofl [ "unix:"; "tcp:"; "localhost:80"; "::1"; "[::1]:80" ] in
+         let* suffix = string_size ~gen:path_char (0 -- 8) in
+         return (Transport.Unix_socket (prefix ^ suffix)));
+        (* hosts that shadow the prefixes or carry colons *)
+        (let* host = oneofl [ "unix"; "tcp"; "::1"; "fe80::2"; "a.b-c" ] in
+         let* port = 0 -- 65535 in
+         return (Transport.Tcp { host; port }));
+      ])
+
+let t_transport_roundtrip =
+  prop ~count:500 "transport: of_string (to_string t) = Ok t"
+    (QCheck.make ~print:print_transport gen_transport)
+    (fun t -> Transport.of_string (Transport.to_string t) = Ok t)
+
+let t_transport_parse_total =
+  prop ~count:500 "transport: parsing is total and parse-print-parse stable"
+    (QCheck.make
+       ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:printable (0 -- 24)))
+    (fun s ->
+      (* No input raises, and anything that parses re-parses to itself. *)
+      match Transport.of_string s with
+      | Error _ -> true
+      | Ok t -> Transport.of_string (Transport.to_string t) = Ok t)
+
 let suite =
   [
     Alcotest.test_case "request: distinct requests, distinct keys" `Quick
@@ -994,4 +1081,7 @@ let suite =
       t_catalog_echo_work;
     Alcotest.test_case "server: TCP and Unix-socket replies are byte-identical" `Slow
       t_tcp_unix_parity;
+    Alcotest.test_case "transport: address grammar pins" `Quick t_transport_grammar;
+    t_transport_roundtrip;
+    t_transport_parse_total;
   ]

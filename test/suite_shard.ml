@@ -243,6 +243,69 @@ let t_histogram_merge_deterministic () =
         (Histogram.quantile whole q) (Histogram.quantile merged q))
     [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
 
+(* Adversarial latency values for the property tests: exact log-linear
+   bucket boundaries (1e-6 * 1.04^k) and their floating-point
+   neighbours — the values where an off-by-one in the bucket index or
+   an open/closed boundary mix-up would surface — plus the documented
+   clamp cases (NaN, negative) and far-tail values. *)
+let gen_latency =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* k = 0 -- 220 in
+         let* nudge = oneofl [ Float.pred; Fun.id; Float.succ ] in
+         return (nudge (1e-6 *. (1.04 ** float_of_int k))));
+        oneofl [ 0.0; 1e-6; -1.0; Float.nan; 5000.0 ];
+        float_bound_inclusive 0.5;
+      ])
+
+let histogram_of vs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) vs;
+  h
+
+let quantile_grid = [ 0.0; 0.001; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let t_histogram_merge_splits =
+  prop "histogram: merge = unsplit stream at every split, boundary values"
+    (QCheck.make
+       ~print:QCheck.Print.(pair (list float) (list float))
+       QCheck.Gen.(pair (list_size (0 -- 60) gen_latency) (list_size (0 -- 60) gen_latency)))
+    (fun (xs, ys) ->
+      let merged = Histogram.merge (histogram_of xs) (histogram_of ys) in
+      let whole = histogram_of (xs @ ys) in
+      Histogram.count merged = Histogram.count whole
+      && Float.abs (Histogram.sum merged -. Histogram.sum whole)
+         <= 1e-9 *. (1.0 +. Float.abs (Histogram.sum whole))
+      && List.for_all
+           (fun q ->
+             (* buckets, count, min and max merge exactly, so quantiles
+                must agree to the last bit, not within tolerance. *)
+             Float.equal (Histogram.quantile merged q) (Histogram.quantile whole q))
+           quantile_grid)
+
+let t_histogram_quantile_monotone =
+  prop "histogram: quantile is monotone in q"
+    (QCheck.make
+       ~print:QCheck.Print.(triple (list float) float float)
+       QCheck.Gen.(
+         triple
+           (list_size (0 -- 60) gen_latency)
+           (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (vs, qa, qb) ->
+      let h = histogram_of vs in
+      Histogram.quantile h (Float.min qa qb) <= Histogram.quantile h (Float.max qa qb))
+
+let t_histogram_quantiles_bounded =
+  prop "histogram: every quantile lies in the observed [min, max]"
+    (QCheck.make
+       ~print:QCheck.Print.(pair (list float) float)
+       QCheck.Gen.(pair (list_size (1 -- 60) gen_latency) (float_bound_inclusive 1.0)))
+    (fun (vs, q) ->
+      let h = histogram_of vs in
+      let v = Histogram.quantile h q in
+      Histogram.quantile h 0.0 <= v && v <= Histogram.quantile h 1.0)
+
 (* ---- the load generator's schedule ---- *)
 
 let t_loadgen_schedule_deterministic () =
@@ -328,6 +391,9 @@ let suite =
       t_histogram_quantiles;
     Alcotest.test_case "histogram: merge agrees with the unsplit stream" `Quick
       t_histogram_merge_deterministic;
+    t_histogram_merge_splits;
+    t_histogram_quantile_monotone;
+    t_histogram_quantiles_bounded;
     Alcotest.test_case "loadgen: schedule is a pure function of the config" `Quick
       t_loadgen_schedule_deterministic;
     Alcotest.test_case "loadgen: hit ratio shapes the key population" `Quick
