@@ -493,7 +493,51 @@ let conform_cmd =
              stale LL, lost SC/swap writes) and require the checker to kill every applicable \
              mutant.")
   in
-  let run () target n seed typ plan_name ops schedules max_states mutate jobs =
+  let exhaustive_flag =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Bounded-exhaustive mode: instead of sampling random schedules, walk every \
+             in-bound interleaving of each cell with bounded DPOR (see docs/EXPLORATION.md).  \
+             The report states how many schedules the bounds elided; with no bound flags, a \
+             pre-emption bound of 2 applies.")
+  in
+  let preempt_bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preempt-bound" ] ~docv:"K"
+          ~doc:"Max pre-emptive context switches per schedule ($(b,--exhaustive)).")
+  in
+  let fair_bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fair-bound" ] ~docv:"D"
+          ~doc:"Max step-count lead over the least-stepped enabled process ($(b,--exhaustive)).")
+  in
+  let len_bound_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "len-bound" ] ~docv:"L"
+          ~doc:"Max scheduling decisions per schedule ($(b,--exhaustive)).")
+  in
+  let max_schedules_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-schedules" ] ~docv:"M"
+          ~doc:"Abort an $(b,--exhaustive) walk past this many runs (safety valve, an error).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report to $(docv) as JSON.")
+  in
+  let run () target n seed typ plan_name ops schedules max_states mutate exhaustive preempt
+      fair len max_schedules report_file jobs =
     let jobs = resolve_jobs jobs in
     let constructions =
       if target = "all" then Conformance.constructions
@@ -505,45 +549,79 @@ let conform_cmd =
             (Printf.sprintf "unknown construction %S (adt-tree, herlihy, consensus-list, direct, all)"
                target)
     in
-    let report =
-      if mutate then
-        {
-          Conformance.cells = [];
-          mutants =
-            Conformance.mutation_matrix ~jobs ~constructions ~n ~ops ~schedules ~seed
-              ~max_states ();
-        }
-      else begin
-        let types =
-          if typ = "all" then Schedule_fuzz.object_types
-          else
-            match Schedule_fuzz.find_type typ with
-            | Some t -> [ t ]
-            | None ->
-              failwith
-                (Printf.sprintf "unknown object type %S (one of: %s, or all)" typ
-                   (String.concat ", " Schedule_fuzz.type_names))
-        in
-        let plans =
-          if plan_name = "all" then Fault_plan.named ~n
-          else
-            match Fault_plan.of_name ~n plan_name with
-            | Some p -> [ (plan_name, p) ]
-            | None ->
-              failwith
-                (Printf.sprintf "unknown plan %S (one of: %s; join with '+', or 'all')" plan_name
-                   (String.concat ", " Fault_plan.plan_names))
-        in
-        {
-          Conformance.cells =
-            Conformance.fuzz_matrix ~jobs ~constructions ~types ~plans ~n ~ops ~schedules
-              ~seed ~max_states ();
-          mutants = [];
-        }
-      end
+    let types () =
+      if typ = "all" then Schedule_fuzz.object_types
+      else
+        match Schedule_fuzz.find_type typ with
+        | Some t -> [ t ]
+        | None ->
+          failwith
+            (Printf.sprintf "unknown object type %S (one of: %s, or all)" typ
+               (String.concat ", " Schedule_fuzz.type_names))
     in
-    Format.printf "%a@." Conformance.pp_report report;
-    if Conformance.ok report then 0 else 3
+    let plans () =
+      if plan_name = "all" then Fault_plan.named ~n
+      else
+        match Fault_plan.of_name ~n plan_name with
+        | Some p -> [ (plan_name, p) ]
+        | None ->
+          failwith
+            (Printf.sprintf "unknown plan %S (one of: %s; join with '+', or 'all')" plan_name
+               (String.concat ", " Fault_plan.plan_names))
+    in
+    let write_json path json =
+      let oc = open_out path in
+      output_string oc (Json.to_string ~pretty:true json);
+      output_string oc "\n";
+      close_out oc;
+      Format.printf "report written to %s@." path
+    in
+    if exhaustive then begin
+      let bounds =
+        if preempt = None && fair = None && len = None then Exhaustive.default_bounds
+        else { Sched_tree.preempt; fair; length = len }
+      in
+      let report =
+        if mutate then
+          {
+            Exhaustive.certs = [];
+            mutants =
+              Exhaustive.mutant_matrix ~jobs ~constructions ~n ~ops ~seed ~bounds
+                ~max_schedules ~max_states ();
+          }
+        else
+          {
+            Exhaustive.certs =
+              Exhaustive.matrix ~jobs ~constructions ~types:(types ()) ~plans:(plans ()) ~n
+                ~ops ~seed ~bounds ~max_schedules ~max_states ();
+            mutants = [];
+          }
+      in
+      Format.printf "%a@." Exhaustive.pp_report report;
+      Option.iter (fun path -> write_json path (Exhaustive.json_of_report report)) report_file;
+      if Exhaustive.ok report then 0 else 3
+    end
+    else begin
+      let report =
+        if mutate then
+          {
+            Conformance.cells = [];
+            mutants =
+              Conformance.mutation_matrix ~jobs ~constructions ~n ~ops ~schedules ~seed
+                ~max_states ();
+          }
+        else
+          {
+            Conformance.cells =
+              Conformance.fuzz_matrix ~jobs ~constructions ~types:(types ()) ~plans:(plans ())
+                ~n ~ops ~schedules ~seed ~max_states ();
+            mutants = [];
+          }
+      in
+      Format.printf "%a@." Conformance.pp_report report;
+      Option.iter (fun path -> write_json path (Conformance.json_of_report report)) report_file;
+      if Conformance.ok report then 0 else 3
+    end
   in
   Cmd.v
     (Cmd.info "conform"
@@ -551,10 +629,13 @@ let conform_cmd =
          "Conformance-check the universal constructions: fuzz seeded random schedules (and \
           fault plans) through each construction and object type, check every history for \
           linearizability, shrink any counterexample to a locally-minimal schedule (exit 3 on \
-          violation).  With $(b,--mutate), verify the checker catches seeded bugs.")
+          violation).  With $(b,--mutate), verify the checker catches seeded bugs.  With \
+          $(b,--exhaustive), replace sampling by a bounded-exhaustive DPOR walk of the \
+          schedule space.")
     Term.(
       const run $ logging $ target_arg $ cn_arg $ seed_arg $ type_arg $ plan_arg $ ops_arg
-      $ schedules_arg $ max_states_arg $ mutate_flag $ jobs_arg)
+      $ schedules_arg $ max_states_arg $ mutate_flag $ exhaustive_flag $ preempt_bound_arg
+      $ fair_bound_arg $ len_bound_arg $ max_schedules_arg $ report_arg $ jobs_arg)
 
 (* ---- hw ---- *)
 

@@ -283,3 +283,111 @@ let for_all_reduced ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
          ());
     true
   with Found -> false
+
+(* ---- dynamic partial-order reduction ---- *)
+
+let iter_dpor ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
+    ?(bounds = Sched_tree.no_bounds) ?(dedup = true) ?(max_runs = 200_000) ~f () =
+  if coin_range = [] then invalid_arg "Explore.iter_dpor: empty coin range";
+  let module Pmap = Map.Make (Int) in
+  let memory0 = Pure_memory.create ~inits () in
+  (* One run under the oracle: the same forced initial expansion and step
+     semantics as [iter_reduced], but scheduling decisions, coin-branch
+     selection, and state dedup all delegate to the scheduler tree. *)
+  let run sched =
+    let memory = ref memory0 in
+    let procs = ref Pmap.empty in
+    let hists = ref Pmap.empty in
+    let runnable = ref [] in
+    let summary = ref (Before Ids.empty) in
+    let events = ref [] in
+    let step = ref 0 in
+    let aborted = ref false in
+    let mark () =
+      if dedup then
+        Sched_tree.mark sched
+          ~key:(Pure_memory.canonical !memory, Pmap.bindings !hists, !summary)
+    in
+    (* Initial expansion: one forced pseudo-decision per process, so initial
+       coin branches are siblings in the tree like any other branch. *)
+    let pid = ref 0 in
+    while (not !aborted) && !pid < n do
+      (match Sched_tree.choose sched ~step:!step ~enabled:[ !pid ] with
+      | None -> aborted := true
+      | Some p ->
+        assert (p = !pid);
+        let branches = expand coin_range p (program_of p) in
+        let blocking = List.exists (fun (_, evs, _) -> evs <> []) branches in
+        let b =
+          Sched_tree.commit sched
+            ~fp:{ Sched_tree.regs = []; blocking }
+            ~branches:(List.length branches)
+        in
+        let proc, expand_events, outcomes = List.nth branches b in
+        summary := update_summary !summary (List.rev expand_events);
+        hists := Pmap.add p [ (Op.Validate (-1), Op.Ack, outcomes) ] !hists;
+        (match proc with
+        | Done _ -> ()
+        | Blocked _ -> runnable := !runnable @ [ p ]);
+        procs := Pmap.add p proc !procs;
+        events := expand_events @ !events;
+        incr step;
+        mark ());
+      incr pid
+    done;
+    while (not !aborted) && !runnable <> [] do
+      match Sched_tree.choose sched ~step:!step ~enabled:!runnable with
+      | None -> aborted := true
+      | Some pid -> (
+        match Pmap.find pid !procs with
+        | Done _ -> assert false
+        | Blocked (inv, k) ->
+          let response, memory' = Pure_memory.apply !memory ~pid inv in
+          let stepped = Stepped (pid, inv, response) in
+          let branches = expand coin_range pid (k response) in
+          let blocking = List.exists (fun (_, evs, _) -> evs <> []) branches in
+          let b =
+            Sched_tree.commit sched
+              ~fp:{ Sched_tree.regs = footprint inv; blocking }
+              ~branches:(List.length branches)
+          in
+          let proc', expand_events, outcomes = List.nth branches b in
+          summary := update_summary !summary (stepped :: List.rev expand_events);
+          hists :=
+            Pmap.add pid ((inv, response, outcomes) :: Pmap.find pid !hists) !hists;
+          memory := memory';
+          procs := Pmap.add pid proc' !procs;
+          (match proc' with
+          | Done _ -> runnable := remove_runnable pid !runnable
+          | Blocked _ -> ());
+          events := expand_events @ (stepped :: !events);
+          incr step;
+          mark ())
+    done;
+    if !aborted then None
+    else
+      let results =
+        Pmap.bindings !procs
+        |> List.map (fun (pid, p) ->
+               match p with
+               | Done x -> (pid, x)
+               | Blocked _ -> assert false)
+      in
+      Some { events = List.rev !events; results }
+  in
+  try
+    Sched_tree.explore ~bounds ~max_schedules:max_runs ~run
+      ~f:(fun run ->
+        f run;
+        true)
+      ()
+  with Sched_tree.Schedule_limit k -> raise (Limit_exceeded k)
+
+let for_all_dpor ~n ~program_of ?inits ?coin_range ?bounds ?dedup ?max_runs ~f () =
+  try
+    ignore
+      (iter_dpor ~n ~program_of ?inits ?coin_range ?bounds ?dedup ?max_runs
+         ~f:(fun run -> if not (f run) then raise Found)
+         ());
+    true
+  with Found -> false

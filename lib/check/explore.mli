@@ -27,9 +27,14 @@ type 'a run = {
 }
 
 exception Limit_exceeded of int
-(** Raised when the run count would exceed [max_runs] — exploration is only
-    meaningful when it is exhaustive, so truncation is an error, not a
-    partial answer. *)
+(** Raised when the run count would exceed [max_runs].  [max_runs] is a
+    safety valve against state-space blowup, not a schedule bound: an
+    enumeration cut at an arbitrary run count has no honest meaning, so
+    overrunning it is an error, never a silently-truncated answer.  To
+    explore {e deliberately} incomplete schedule sets, pass
+    {!Sched_tree.bounds} to {!iter_dpor}: bounded runs are dropped
+    gracefully and counted in the [elided] field of {!Sched_tree.stats}, so the result
+    says exactly how much was left unexplored. *)
 
 val iter :
   n:int ->
@@ -133,3 +138,54 @@ val for_all_reduced :
   bool
 (** {!for_all} over the reduced schedule set — equivalent to the full
     [for_all] for predicates within the soundness scope above. *)
+
+(** {1 Dynamic partial-order reduction}
+
+    {!iter_reduced} expands {e every} awake process at every state and
+    relies on sleep sets plus dedup to cut the tree after the fact.
+    {!iter_dpor} inverts this: each state expands {e one} process, and
+    alternatives are added back only where a {e race} — a step dependent
+    with an earlier co-enabled step of another process — proves the
+    reordering can matter ({!Sched_tree}).  The same sleep sets, state
+    dedup, and soundness scope as {!iter_reduced} apply (the callback sees
+    one representative per distinct [(results, wakeup verdict)] outcome,
+    not every schedule), with the same coin-resolution caveat, and
+    optional {!Sched_tree.bounds} degrade the exploration gracefully
+    instead of raising {!Limit_exceeded}: see docs/EXPLORATION.md. *)
+
+val iter_dpor :
+  n:int ->
+  program_of:(int -> int Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?bounds:Sched_tree.bounds ->
+  ?dedup:bool ->
+  ?max_runs:int ->
+  f:(int run -> unit) ->
+  unit ->
+  Sched_tree.stats
+(** Explore with bounded DPOR; [f] sees each completed run.  Without
+    [bounds] the exploration is exhaustive up to the documented reduction
+    ({!Sched_tree.exhaustive} holds); with bounds, cut schedules are
+    counted in {!Sched_tree.stats}'s [elided] field.  [dedup] (default [true])
+    enables stateful DPOR — cutting covered state revisits, compensated by
+    continuation summaries ({!Sched_tree.explore}); [~dedup:false] is pure
+    stateless DPOR, whose schedule count is the number of Mazurkiewicz
+    traces and can explode on long programs (tree-collect at n=2 already
+    does) — use it only on small systems or under [bounds].  [max_runs]
+    (default 200_000) caps total run executions and raises
+    {!Limit_exceeded} when hit. *)
+
+val for_all_dpor :
+  n:int ->
+  program_of:(int -> int Program.t) ->
+  ?inits:(int * Value.t) list ->
+  ?coin_range:int list ->
+  ?bounds:Sched_tree.bounds ->
+  ?dedup:bool ->
+  ?max_runs:int ->
+  f:(int run -> bool) ->
+  unit ->
+  bool
+(** {!for_all} over the DPOR-reduced schedule set; stops at the first
+    counterexample. *)

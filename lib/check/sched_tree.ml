@@ -1,0 +1,663 @@
+open Lb_memory
+open Lb_runtime
+
+type fp = { regs : int list; blocking : bool }
+
+let dependent a b =
+  a.blocking || b.blocking || List.exists (fun r -> List.mem r b.regs) a.regs
+
+let footprint = function
+  | Op.Ll r | Op.Sc (r, _) | Op.Validate r | Op.Swap (r, _) -> [ r ]
+  | Op.Move (src, dst) -> [ src; dst ]
+
+type bounds = { preempt : int option; fair : int option; length : int option }
+
+let no_bounds = { preempt = None; fair = None; length = None }
+let bounded b = b.preempt <> None || b.fair <> None || b.length <> None
+
+let pp_bounds ppf b =
+  if not (bounded b) then Format.pp_print_string ppf "unbounded"
+  else begin
+    let sep = ref false in
+    let one name = function
+      | None -> ()
+      | Some v ->
+        if !sep then Format.pp_print_string ppf ", ";
+        sep := true;
+        Format.fprintf ppf "%s<=%d" name v
+    in
+    one "preempt" b.preempt;
+    one "fair" b.fair;
+    one "length" b.length
+  end
+
+(* ---- the per-run oracle ---- *)
+
+(* A sleeping process: it was fully explored at some ancestor node and must
+   not be rescheduled until a step dependent with its pending one runs. *)
+type entry = { sl_pid : int; sl_fp : fp }
+
+let wake sleep fp = List.filter (fun e -> not (dependent e.sl_fp fp)) sleep
+let asleep sleep p = List.exists (fun e -> e.sl_pid = p) sleep
+
+(* One committed decision of the current run, with everything the
+   backtracking pass needs to re-inspect the position afterwards. *)
+type tstep = {
+  t_pid : int;
+  t_branch : int;
+  t_branches : int;
+  t_fp : fp;
+  t_enabled : int list;
+  t_sleep : entry list;  (* sleep set in force before this step. *)
+  t_preempts : int;  (* pre-emptive switches strictly before this step. *)
+}
+
+type status = Running | Sleep_blocked | Bound_blocked | Deduped
+
+(* ---- the persistent scheduler tree (types; operations further down) ---- *)
+
+type node = {
+  nd_enabled : int list;
+  mutable nd_todo : (int * int) list;  (* decisions awaiting exploration *)
+  mutable nd_edges : edge list;  (* explored decisions, in DFS order *)
+}
+
+and edge = {
+  ed_pid : int;
+  ed_branch : int;
+  ed_fp : fp;
+  mutable ed_child : node option;
+}
+
+(* What the dedup table remembers about a canonical state (stateful DPOR,
+   after Yang et al.): the weakest sleep set it was ever reached with
+   (Godefroid's revisit rule), the [(pid, footprint)] of every step known
+   to occur below it, and the runs that were cut at it — each cut run's
+   prefix must be re-raced against summary entries that arrive later. *)
+type 'k vent = {
+  mutable v_sleep : int list;
+  mutable v_sum : (int * fp) list;
+  mutable v_subs : 'k sub list;
+}
+
+and 'k sub = {
+  s_trace : tstep array;
+  s_nodes : node array;
+  s_hb : int -> int -> bool;
+  s_marks : ('k * int) list;
+}
+
+type 'k dpor = {
+  d_bounds : bounds;
+  d_visited : ('k, 'k vent) Hashtbl.t;  (* canonical state -> bookkeeping *)
+  mutable d_prefix : (int * int) list;  (* (pid, branch) decisions to replay *)
+  d_div_sleep : entry list;  (* sleep set in force at the divergence point *)
+  mutable d_sleep : entry list;
+  mutable d_trace : tstep list;  (* reversed *)
+  mutable d_depth : int;
+  mutable d_preempts : int;
+  mutable d_last : int option;
+  d_counts : (int, int) Hashtbl.t;
+  mutable d_status : status;
+  mutable d_marks : ('k * int) list;  (* (state key, depth) along this run *)
+  mutable d_cut : 'k option;  (* the covered key this run was cut at *)
+  (* A successful [choose] parks (pid, enabled, prefix branch) here until
+     the matching [commit] arrives with the footprint. *)
+  mutable d_pending : (int * int list * int option) option;
+}
+
+type 'k sched = Dpor of 'k dpor | Sample of int | Replay of int list ref
+
+let sampler ~seed = Sample seed
+let replayer entries = Replay (ref entries)
+
+let count d p = Option.value (Hashtbl.find_opt d.d_counts p) ~default:0
+
+let step_in_bounds d ~enabled p =
+  let b = d.d_bounds in
+  (match b.length with None -> true | Some l -> d.d_depth < l)
+  && (match b.preempt with
+     | None -> true
+     | Some k ->
+       let extra =
+         match d.d_last with Some q when q <> p && List.mem q enabled -> 1 | _ -> 0
+       in
+       d.d_preempts + extra <= k)
+  && (match b.fair with
+     | None -> true
+     | Some dd ->
+       let least = List.fold_left (fun m q -> min m (count d q)) max_int enabled in
+       count d p + 1 - least <= dd)
+
+let choose (s : _ sched) ~step ~enabled =
+  match s with
+  | Sample seed ->
+    if enabled = [] then None else Scheduler.random ~seed ~step ~runnable:enabled
+  | Replay remaining ->
+    let rec pick () =
+      match !remaining with
+      | [] -> Scheduler.round_robin ~step ~runnable:enabled
+      | pid :: rest ->
+        remaining := rest;
+        if List.mem pid enabled then Some pid else pick ()
+    in
+    pick ()
+  | Dpor d -> (
+    if d.d_status <> Running then None
+    else begin
+      assert (d.d_pending = None);
+      match d.d_prefix with
+      | (pid, b) :: _ ->
+        if not (List.mem pid enabled) then
+          failwith "Sched_tree: divergent replay (prefix pid not enabled)";
+        d.d_pending <- Some (pid, enabled, Some b);
+        Some pid
+      | [] -> (
+        let awake = List.filter (fun p -> not (asleep d.d_sleep p)) enabled in
+        if awake = [] then begin
+          d.d_status <- Sleep_blocked;
+          None
+        end
+        else
+          match List.filter (step_in_bounds d ~enabled) awake with
+          | [] ->
+            d.d_status <- Bound_blocked;
+            None
+          | candidates ->
+            (* Prefer continuing the previous process: pre-emption-free by
+               construction, which keeps bounded exploration cheap. *)
+            let pid =
+              match d.d_last with
+              | Some q when List.mem q candidates -> q
+              | _ -> List.hd candidates
+            in
+            d.d_pending <- Some (pid, enabled, None);
+            Some pid)
+    end)
+
+let commit (s : _ sched) ~fp ~branches =
+  match s with
+  | Sample _ | Replay _ -> 0
+  | Dpor d -> (
+    match d.d_pending with
+    | None -> invalid_arg "Sched_tree.commit: no choice pending"
+    | Some (pid, enabled, from_prefix) ->
+      d.d_pending <- None;
+      let branch = match from_prefix with Some b -> b | None -> 0 in
+      let at_divergence =
+        from_prefix <> None && List.compare_length_with d.d_prefix 1 = 0
+      in
+      let sleep_before =
+        match from_prefix with
+        | None -> d.d_sleep
+        | Some _ -> if at_divergence then d.d_div_sleep else []
+      in
+      d.d_trace <-
+        {
+          t_pid = pid;
+          t_branch = branch;
+          t_branches = branches;
+          t_fp = fp;
+          t_enabled = enabled;
+          t_sleep = sleep_before;
+          t_preempts = d.d_preempts;
+        }
+        :: d.d_trace;
+      (match d.d_last with
+      | Some q when q <> pid && List.mem q enabled -> d.d_preempts <- d.d_preempts + 1
+      | _ -> ());
+      d.d_last <- Some pid;
+      Hashtbl.replace d.d_counts pid (count d pid + 1);
+      d.d_depth <- d.d_depth + 1;
+      (match from_prefix with
+      | Some _ ->
+        d.d_prefix <- List.tl d.d_prefix;
+        if d.d_prefix = [] then d.d_sleep <- wake d.d_div_sleep fp
+      | None -> d.d_sleep <- wake d.d_sleep fp);
+      branch)
+
+let mark (s : _ sched) ~key =
+  match s with
+  | Sample _ | Replay _ -> ()
+  | Dpor d ->
+    if d.d_status = Running then begin
+      if d.d_prefix <> [] then
+        (* Replayed prefix: the state is already in the table (its original
+           run marked it) and aborting the replay would orphan the todo —
+           but this run's continuation still lies below it, so remember the
+           position for the summary pass. *)
+        d.d_marks <- (key, d.d_depth) :: d.d_marks
+      else begin
+        let current = List.map (fun e -> e.sl_pid) d.d_sleep in
+        match Hashtbl.find_opt d.d_visited key with
+        | Some v when List.for_all (fun p -> List.mem p current) v.v_sleep ->
+          d.d_status <- Deduped;
+          d.d_cut <- Some key
+        | Some v ->
+          (* Godefroid's revisit rule: re-explore, remembering the weaker
+             (intersected) sleep set for future visits. *)
+          v.v_sleep <- List.filter (fun p -> List.mem p current) v.v_sleep;
+          d.d_marks <- (key, d.d_depth) :: d.d_marks
+        | None ->
+          Hashtbl.add d.d_visited key { v_sleep = current; v_sum = []; v_subs = [] };
+          d.d_marks <- (key, d.d_depth) :: d.d_marks
+      end
+    end
+
+let interrupted (s : _ sched) =
+  match s with Sample _ | Replay _ -> false | Dpor d -> d.d_status <> Running
+
+(* ---- the persistent scheduler tree: operations ---- *)
+
+let new_node enabled = { nd_enabled = enabled; nd_todo = []; nd_edges = [] }
+
+let has_decision node p =
+  List.exists (fun e -> e.ed_pid = p) node.nd_edges
+  || List.exists (fun (q, _) -> q = p) node.nd_todo
+
+(* The sleep set in force when a todo of [node] is launched: every process
+   other than [skip] whose decisions at [node] are all explored and whose
+   subtrees are drained — guaranteed by the DFS order of [find_next], which
+   only surfaces a node's todos once every existing subtree is todo-free. *)
+let sleep0_of node ~skip =
+  let pending p = List.exists (fun (q, _) -> q = p) node.nd_todo in
+  let rec gather seen acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      if List.mem e.ed_pid seen then gather seen acc rest
+      else if e.ed_pid = skip || pending e.ed_pid then gather (e.ed_pid :: seen) acc rest
+      else gather (e.ed_pid :: seen) ({ sl_pid = e.ed_pid; sl_fp = e.ed_fp } :: acc) rest
+  in
+  gather [] [] node.nd_edges
+
+(* Deepest-first: drain every existing subtree before surfacing a node's
+   own todos, so [sleep0_of] is sound when a todo is finally launched. *)
+let rec find_next node path =
+  let rec over_edges = function
+    | [] -> None
+    | e :: rest -> (
+      match e.ed_child with
+      | None -> over_edges rest
+      | Some child -> (
+        match find_next child ((e.ed_pid, e.ed_branch) :: path) with
+        | Some _ as found -> found
+        | None -> over_edges rest))
+  in
+  match over_edges node.nd_edges with
+  | Some _ as found -> found
+  | None -> (
+    match node.nd_todo with [] -> None | d :: _ -> Some (path, node, d))
+
+(* ---- exhaustive exploration ---- *)
+
+type stats = {
+  schedules : int;
+  sleep_blocked : int;
+  deduped : int;
+  elided : int;
+  max_depth : int;
+}
+
+let exhaustive s = s.elided = 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d schedule%s (%d sleep-blocked, %d deduped, %d elided, depth %d)%s"
+    s.schedules
+    (if s.schedules = 1 then "" else "s")
+    s.sleep_blocked s.deduped s.elided s.max_depth
+    (if exhaustive s then "" else " [BOUNDED]")
+
+exception Schedule_limit of int
+
+type counters = {
+  mutable c_schedules : int;
+  mutable c_sleep_blocked : int;
+  mutable c_deduped : int;
+  mutable c_elided : int;
+  mutable c_depth : int;
+}
+
+(* Fold a run's trace into the tree, returning the node at each depth.
+   Creating a decision's first edge also enqueues its coin siblings:
+   branch outcomes are mandatory, not schedule-reducible. *)
+let incorporate root trace =
+  let len = Array.length trace in
+  if len = 0 then [||]
+  else begin
+    (match !root with
+    | None -> root := Some (new_node trace.(0).t_enabled)
+    | Some _ -> ());
+    let nodes = Array.make len (Option.get !root) in
+    let cursor = ref (Option.get !root) in
+    for i = 0 to len - 1 do
+      nodes.(i) <- !cursor;
+      let t = trace.(i) in
+      let node = !cursor in
+      let edge =
+        match
+          List.find_opt
+            (fun e -> e.ed_pid = t.t_pid && e.ed_branch = t.t_branch)
+            node.nd_edges
+        with
+        | Some e -> e
+        | None ->
+          let e = { ed_pid = t.t_pid; ed_branch = t.t_branch; ed_fp = t.t_fp; ed_child = None } in
+          node.nd_edges <- node.nd_edges @ [ e ];
+          node.nd_todo <-
+            List.filter (fun (p, b) -> not (p = t.t_pid && b = t.t_branch)) node.nd_todo;
+          for b' = 0 to t.t_branches - 1 do
+            if
+              b' <> t.t_branch
+              && (not
+                    (List.exists
+                       (fun e -> e.ed_pid = t.t_pid && e.ed_branch = b')
+                       node.nd_edges))
+              && not (List.mem (t.t_pid, b') node.nd_todo)
+            then node.nd_todo <- node.nd_todo @ [ (t.t_pid, b') ]
+          done;
+          e
+      in
+      if i + 1 < len then begin
+        (match edge.ed_child with
+        | None -> edge.ed_child <- Some (new_node trace.(i + 1).t_enabled)
+        | Some _ -> ());
+        cursor := Option.get edge.ed_child
+      end
+    done;
+    nodes
+  end
+
+(* Would scheduling [p] at trace position [i] respect the bounds?  A
+   necessary condition only — the run itself re-checks every later step —
+   used to reject todo entries at insertion (counted as elided). *)
+let insertion_in_bounds bounds trace i p =
+  let steps_of q upto =
+    let c = ref 0 in
+    for j = 0 to upto - 1 do
+      if trace.(j).t_pid = q then incr c
+    done;
+    !c
+  in
+  (match bounds.length with None -> true | Some l -> i < l)
+  && (match bounds.preempt with
+     | None -> true
+     | Some k ->
+       let extra =
+         if i > 0 && trace.(i - 1).t_pid <> p && List.mem trace.(i - 1).t_pid trace.(i).t_enabled
+         then 1
+         else 0
+       in
+       trace.(i).t_preempts + extra <= k)
+  && (match bounds.fair with
+     | None -> true
+     | Some dd ->
+       let least =
+         List.fold_left (fun m q -> min m (steps_of q i)) max_int trace.(i).t_enabled
+       in
+       steps_of p i + 1 - least <= dd)
+
+let plain_add counters bounds nodes trace i p =
+  if not (has_decision nodes.(i) p) then begin
+    if insertion_in_bounds bounds trace i p then
+      nodes.(i).nd_todo <- nodes.(i).nd_todo @ [ (p, 0) ]
+    else counters.c_elided <- counters.c_elided + 1
+  end
+
+(* Add a backtracking point, plus — under a pre-emption bound — BPOR's
+   conservative companion point: the pre-emptive backtrack may lie outside
+   the bound, so also try the start of the pre-empted process's segment,
+   where taking [p] costs no extra pre-emption. *)
+let add_point counters bounds nodes trace i p =
+  plain_add counters bounds nodes trace i p;
+  if bounds.preempt <> None && i > 0 then begin
+    let prev = trace.(i - 1).t_pid in
+    if prev <> p && List.mem prev trace.(i).t_enabled then begin
+      let k = ref (i - 1) in
+      while !k > 0 && trace.(!k - 1).t_pid = prev do
+        decr k
+      done;
+      if List.mem p trace.(!k).t_enabled && not (asleep trace.(!k).t_sleep p) then
+        plain_add counters bounds nodes trace !k p
+    end
+  end
+
+(* Request process [p] at trace position [i] (thread-level backtracking,
+   per Flanagan–Godefroid — [p]'s own steps in between do not shield a
+   race, they just mean [p]'s segment must start earlier). *)
+let request counters bounds nodes trace i p =
+  let t = trace.(i) in
+  if asleep t.t_sleep p then ()
+  else if List.mem p t.t_enabled then add_point counters bounds nodes trace i p
+  else
+    (* [p] not schedulable at the race point: conservatively re-arm every
+       awake alternative there. *)
+    List.iter
+      (fun q ->
+        if q <> t.t_pid && not (asleep t.t_sleep q) then
+          add_point counters bounds nodes trace i q)
+      t.t_enabled
+
+(* Happens-before over the trace — program order plus pairwise dependence
+   — as vector clocks.  [vc.(j).(q)] counts how many steps of process
+   index [q] happen before-or-at step [j]; [seq.(j)] is step [j]'s own
+   occurrence number within its process. *)
+let compute_hb trace =
+  let len = Array.length trace in
+  let pids =
+    Array.fold_left (fun acc t -> if List.mem t.t_pid acc then acc else t.t_pid :: acc) [] trace
+  in
+  let pidx p =
+    let rec go i = function
+      | [] -> assert false
+      | q :: rest -> if q = p then i else go (i + 1) rest
+    in
+    go 0 pids
+  in
+  let m = max (List.length pids) 1 in
+  let vc = Array.make_matrix (max len 1) m 0 in
+  let seq = Array.make (max len 1) 0 in
+  let last_of = Array.make m (-1) in
+  for j = 0 to len - 1 do
+    let p = pidx trace.(j).t_pid in
+    let join i =
+      for q = 0 to m - 1 do
+        if vc.(i).(q) > vc.(j).(q) then vc.(j).(q) <- vc.(i).(q)
+      done
+    in
+    if last_of.(p) >= 0 then join last_of.(p);
+    for i = 0 to j - 1 do
+      if dependent trace.(i).t_fp trace.(j).t_fp then join i
+    done;
+    vc.(j).(p) <- vc.(j).(p) + 1;
+    seq.(j) <- vc.(j).(p);
+    last_of.(p) <- j
+  done;
+  fun i j -> i = j || (i < j && vc.(j).(pidx trace.(i).t_pid) >= seq.(i))
+
+let add_backtracks counters bounds nodes trace hb =
+  let len = Array.length trace in
+  (* A race (i, j) is reversible when no third step bridges it in
+     happens-before order; only reversible races need backtracking points
+     (source-DPOR): deeper races re-appear as reversible ones in the
+     re-explored subtrees. *)
+  let reversible i j =
+    let bridged = ref false in
+    let k = ref (i + 1) in
+    while (not !bridged) && !k < j do
+      if hb i !k && hb !k j then bridged := true;
+      incr k
+    done;
+    not !bridged
+  in
+  for j = 1 to len - 1 do
+    let p = trace.(j).t_pid in
+    let fpj = trace.(j).t_fp in
+    for i = j - 1 downto 0 do
+      let t = trace.(i) in
+      if t.t_pid <> p && dependent t.t_fp fpj && reversible i j then
+        request counters bounds nodes trace i p
+    done
+  done
+
+(* Race the trace's steps against [(q, fq)] steps known to occur somewhere
+   below the trace's final state (stateful DPOR's virtual steps): a cut
+   run never executed its continuation, so the races its race pass would
+   have found against the prefix must be reconstructed from the summary.
+   A virtual step happens after every real step, so a race (i, virtual) is
+   bridged by any real [k > i] that happens-after [i] and precedes the
+   virtual step in happens-before order — [q]'s own steps or steps
+   dependent with [fq]. *)
+let virtual_backtracks counters bounds nodes trace hb entries =
+  let len = Array.length trace in
+  List.iter
+    (fun (q, fq) ->
+      for i = len - 1 downto 0 do
+        let t = trace.(i) in
+        if t.t_pid <> q && dependent t.t_fp fq then begin
+          let bridged = ref false in
+          for k = i + 1 to len - 1 do
+            if
+              (not !bridged)
+              && hb i k
+              && (trace.(k).t_pid = q || dependent trace.(k).t_fp fq)
+            then bridged := true
+          done;
+          if not !bridged then request counters bounds nodes trace i q
+        end
+      done)
+    entries
+
+(* Grow the summary of [key] by [entries], firing the virtual race pass of
+   every run cut at [key] and propagating to the summaries of each such
+   run's own ancestors, to a fixpoint (summaries grow monotonically within
+   a finite footprint universe, so this terminates). *)
+let add_sum visited counters bounds key entries =
+  let queue = Queue.create () in
+  Queue.add (key, entries) queue;
+  while not (Queue.is_empty queue) do
+    let k, es = Queue.pop queue in
+    let v =
+      match Hashtbl.find_opt visited k with
+      | Some v -> v
+      | None ->
+        let v = { v_sleep = []; v_sum = []; v_subs = [] } in
+        Hashtbl.add visited k v;
+        v
+    in
+    let fresh = List.filter (fun e -> not (List.mem e v.v_sum)) es in
+    if fresh <> [] then begin
+      v.v_sum <- v.v_sum @ fresh;
+      List.iter
+        (fun sub ->
+          virtual_backtracks counters bounds sub.s_nodes sub.s_trace sub.s_hb fresh;
+          List.iter (fun (k', _) -> Queue.add (k', fresh) queue) sub.s_marks)
+        v.v_subs
+    end
+  done
+
+(* The per-run summary pass: every marked state along the trace learns the
+   steps that followed it; a run cut at a covered state [k] additionally
+   learns [k]'s summarized continuation (everything below [k] counts as
+   below each of its own ancestors too), races its prefix against that
+   summary now, and subscribes for entries [k] gains later. *)
+let update_summaries visited counters bounds nodes trace hb marks cut =
+  let suffix i =
+    let acc = ref [] in
+    for j = Array.length trace - 1 downto i do
+      let e = (trace.(j).t_pid, trace.(j).t_fp) in
+      if not (List.mem e !acc) then acc := e :: !acc
+    done;
+    !acc
+  in
+  List.iter (fun (k, i) -> add_sum visited counters bounds k (suffix i)) marks;
+  match cut with
+  | None -> ()
+  | Some k ->
+    let v =
+      match Hashtbl.find_opt visited k with
+      | Some v -> v
+      | None ->
+        let v = { v_sleep = []; v_sum = []; v_subs = [] } in
+        Hashtbl.add visited k v;
+        v
+    in
+    let sub = { s_trace = trace; s_nodes = nodes; s_hb = hb; s_marks = marks } in
+    v.v_subs <- sub :: v.v_subs;
+    virtual_backtracks counters bounds nodes trace hb v.v_sum;
+    List.iter (fun (k', _) -> add_sum visited counters bounds k' v.v_sum) marks
+
+let explore ?(bounds = no_bounds) ?(max_schedules = 200_000) ~run ~f () =
+  let visited = Hashtbl.create 512 in
+  let counters =
+    { c_schedules = 0; c_sleep_blocked = 0; c_deduped = 0; c_elided = 0; c_depth = 0 }
+  in
+  let root = ref None in
+  let total = ref 0 in
+  let continue_ = ref true in
+  let exec prefix div_sleep =
+    incr total;
+    if !total > max_schedules then raise (Schedule_limit max_schedules);
+    let d =
+      {
+        d_bounds = bounds;
+        d_visited = visited;
+        d_prefix = prefix;
+        d_div_sleep = div_sleep;
+        d_sleep = (if prefix = [] then div_sleep else []);
+        d_trace = [];
+        d_depth = 0;
+        d_preempts = 0;
+        d_last = None;
+        d_counts = Hashtbl.create 16;
+        d_status = Running;
+        d_marks = [];
+        d_cut = None;
+        d_pending = None;
+      }
+    in
+    (match run (Dpor d) with
+    | Some result ->
+      counters.c_schedules <- counters.c_schedules + 1;
+      if not (f result) then continue_ := false
+    | None -> (
+      match d.d_status with
+      | Sleep_blocked -> counters.c_sleep_blocked <- counters.c_sleep_blocked + 1
+      | Deduped -> counters.c_deduped <- counters.c_deduped + 1
+      | Bound_blocked | Running -> counters.c_elided <- counters.c_elided + 1));
+    let trace = Array.of_list (List.rev d.d_trace) in
+    counters.c_depth <- max counters.c_depth (Array.length trace);
+    let nodes = incorporate root trace in
+    let hb = compute_hb trace in
+    add_backtracks counters bounds nodes trace hb;
+    if d.d_marks <> [] || d.d_cut <> None then
+      update_summaries visited counters bounds nodes trace hb d.d_marks d.d_cut
+  in
+  exec [] [];
+  (match !root with
+  | None -> ()
+  | Some r ->
+    let rec loop () =
+      if !continue_ then
+        match find_next r [] with
+        | None -> ()
+        | Some (path_rev, node, ((p, b) as decision)) ->
+          let prefix = List.rev (decision :: path_rev) in
+          let div_sleep = sleep0_of node ~skip:p in
+          exec prefix div_sleep;
+          (* The divergence decision must have become an edge; if the runner
+             bailed before reaching it, drop the todo rather than loop. *)
+          if List.mem decision node.nd_todo then begin
+            node.nd_todo <- List.filter (fun d' -> d' <> decision) node.nd_todo;
+            counters.c_elided <- counters.c_elided + 1
+          end;
+          ignore b;
+          loop ()
+    in
+    loop ());
+  {
+    schedules = counters.c_schedules;
+    sleep_blocked = counters.c_sleep_blocked;
+    deduped = counters.c_deduped;
+    elided = counters.c_elided;
+    max_depth = counters.c_depth;
+  }

@@ -1,0 +1,140 @@
+(** Bounded-exhaustive conformance certification.
+
+    Where {!Fuzz} samples seeded random schedules, this module walks the
+    schedule space of one (construction, object type, fault plan) cell
+    systematically with {!Lb_check.Sched_tree}'s bounded DPOR: every
+    in-bound interleaving of the harness workload is executed and judged
+    by the {e same} {!Fuzz.assess} verdict chain as the fuzzer, so a cell
+    certificate strengthens the fuzz cell from "no failing schedule
+    sampled" to "no failing schedule exists within the bounds" —
+    {!Lb_check.Sched_tree.stats}'s [elided] field says exactly how much the bounds
+    cut.
+
+    Dependency footprints come from each process's pending shared-memory
+    invocation (register overlap, which subsumes LL/SC link-kill
+    dependence); operation boundaries — a response published, a give-up,
+    a crash restart — are {e blocking} (dependent with everything),
+    because commuting them changes history precedence and so possibly the
+    linearizability verdict.  Under a non-empty fault plan every step is
+    blocking: injectors read the global step clock, so no commutation is
+    sound — the walk degrades to bounded enumeration, still exhaustive
+    within the bounds.
+
+    Soundness scope is inherited from the sleep-set argument in
+    {!Lb_check.Explore.iter_reduced}: the set of distinct verdicts is preserved;
+    individual schedule orders are not.  See docs/EXPLORATION.md. *)
+
+open Lb_universal
+open Lb_faults
+
+val pure : Fault_plan.t -> bool
+(** Whether schedule commutation is sound under this plan (no injectors). *)
+
+type cert = {
+  xc_construction : string;
+  xc_object_type : string;
+  xc_plan : string;
+  xc_n : int;
+  xc_ops : int;
+  xc_bounds : Lb_check.Sched_tree.bounds;
+  xc_stats : Lb_check.Sched_tree.stats;
+  xc_degraded : int;  (** schedules that passed with excused degradation. *)
+  xc_counterexample : Fuzz.counterexample option;
+      (** the first failing schedule found, minimized with {!Shrink}. *)
+}
+
+val cert_ok : cert -> bool
+
+val default_bounds : Lb_check.Sched_tree.bounds
+(** Pre-emption bound 2, the classic systematic-testing default: most
+    concurrency bugs need at most two pre-emptions, and the schedule count
+    stays polynomial. *)
+
+val certify_cell :
+  construction:Iface.t ->
+  ot:Fuzz.object_type ->
+  plan_name:string ->
+  plan:Fault_plan.t ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  ?bounds:Lb_check.Sched_tree.bounds ->
+  ?max_schedules:int ->
+  max_states:int ->
+  unit ->
+  cert
+(** Walk every in-bound schedule of one cell (stopping at the first
+    failure, which is then shrunk).  [seed] fixes the workload; the walk
+    itself is deterministic.  [max_schedules] (default 200_000) raises
+    {!Lb_check.Sched_tree.Schedule_limit} when exceeded. *)
+
+(** {1 Mutation certification} *)
+
+type mutant_cert = {
+  xm_construction : string;
+  xm_mutant : string;
+  xm_fired : int;
+  xm_cert : cert;  (** the walk over the mutated construction. *)
+}
+
+val mutant_cert_killed : mutant_cert -> bool
+val mutant_cert_ok : mutant_cert -> bool
+(** Killed, or never fired (not applicable). *)
+
+val certify_mutant :
+  construction:Iface.t ->
+  mutant:Mutate.t ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  ?bounds:Lb_check.Sched_tree.bounds ->
+  ?max_schedules:int ->
+  max_states:int ->
+  unit ->
+  mutant_cert
+(** Certify that a mutant is killed by {e some} in-bound schedule on
+    fetch&increment under the fault-free plan — a strictly stronger claim
+    than {!Conform.hunt_mutant}'s sampled kill. *)
+
+(** {1 Matrices and reports} *)
+
+type report = { certs : cert list; mutants : mutant_cert list }
+
+val ok : report -> bool
+
+val matrix :
+  ?jobs:int ->
+  ?constructions:Iface.t list ->
+  ?types:Fuzz.object_type list ->
+  ?plans:(string * Fault_plan.t) list ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  ?bounds:Lb_check.Sched_tree.bounds ->
+  ?max_schedules:int ->
+  max_states:int ->
+  unit ->
+  cert list
+(** Certify the (construction x type x plan) product on a domain pool;
+    cells are pure functions of their key and {!Lb_exec.Pool.map} is
+    order-preserving, so reports are byte-identical at every job count. *)
+
+val mutant_matrix :
+  ?jobs:int ->
+  ?constructions:Iface.t list ->
+  ?mutants:Mutate.t list ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  ?bounds:Lb_check.Sched_tree.bounds ->
+  ?max_schedules:int ->
+  max_states:int ->
+  unit ->
+  mutant_cert list
+
+val pp_cert : Format.formatter -> cert -> unit
+val pp_mutant_cert : Format.formatter -> mutant_cert -> unit
+val pp_report : Format.formatter -> report -> unit
+val json_of_cert : cert -> Lb_observe.Json.t
+val json_of_mutant_cert : mutant_cert -> Lb_observe.Json.t
+val json_of_report : report -> Lb_observe.Json.t

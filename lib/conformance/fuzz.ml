@@ -156,11 +156,14 @@ let pp_verdict ppf = function
   | Degraded note -> Format.fprintf ppf "degraded (%s)" note
   | Fail f -> Format.fprintf ppf "FAIL: %a" pp_failure f
 
-(* One run: instantiate construction + fault engine on a fresh memory, drive
-   the seeded workload under [scheduler] (recording every choice), then
-   check the produced history.  Fully deterministic in (construction, ot,
-   plan, n, ops, seed, scheduler). *)
-let run_once ~(construction : Iface.t) ~ot ~plan ~n ~ops ~seed ~max_states ~scheduler () =
+(* Drive one execution: instantiate construction + fault engine on a fresh
+   memory and run the seeded workload under [scheduler], recording every
+   choice.  [wrap_hooks] lets a caller interpose on the fault hooks (the
+   exhaustive checker taps [filter] to see each process's pending shared
+   operation).  Fully deterministic in (construction, ot, plan, n, ops,
+   seed, scheduler). *)
+let execute ~(construction : Iface.t) ~ot ~plan ~n ~ops ~seed ?(wrap_hooks = Fun.id)
+    ~scheduler () =
   let spec = ot.spec_of ~n in
   let engine = Fault_engine.instantiate ~seed plan in
   let layout = Layout.create () in
@@ -181,9 +184,19 @@ let run_once ~(construction : Iface.t) ~ot ~plan ~n ~ops ~seed ~max_states ~sche
   let workload pid = List.init ops (fun idx -> ot.op_of ~n ~seed ~pid ~idx) in
   let result =
     Harness.run_handle ~memory ~handle ~n ~ops:workload ~scheduler:recording
-      ~assignment:(Coin.constant 0) ~fuel ~hooks:(Fault_engine.hooks engine) ()
+      ~assignment:(Coin.constant 0) ~fuel
+      ~hooks:(wrap_hooks (Fault_engine.hooks engine))
+      ()
   in
-  let schedule = List.rev !log in
+  (result, List.rev !log)
+
+(* Judge one executed run: completion accounting, the analytic cost bound,
+   give-up excuses, then linearizability.  Shared verbatim by the fuzzer
+   and the exhaustive checker, so a schedule is judged identically however
+   it was produced. *)
+let assess ~(construction : Iface.t) ~ot ~plan ~n ~ops ~max_states ~schedule result =
+  let spec = ot.spec_of ~n in
+  let bound = construction.Iface.worst_case ~n in
   let history = History.of_result result in
   let checked_ops = List.length history in
   let stopped = Fault_plan.crash_stopped plan in
@@ -258,20 +271,20 @@ let run_once ~(construction : Iface.t) ~ot ~plan ~n ~ops ~seed ~max_states ~sche
       | Linearize.Budget_exhausted { budget; _ } ->
         finish (Fail (Check_budget { states = budget })) budget)
 
+let run_once ~construction ~ot ~plan ~n ~ops ~seed ~max_states ~scheduler () =
+  let result, schedule = execute ~construction ~ot ~plan ~n ~ops ~seed ~scheduler () in
+  assess ~construction ~ot ~plan ~n ~ops ~max_states ~schedule result
+
+(* Both fuzz schedulers are leaves of the {!Lb_check.Sched_tree} oracle:
+   sampling and replay draw from the same abstraction the DPOR walk
+   exhausts, so a schedule means the same thing in every mode. *)
+let tree_scheduler sched ~step ~runnable =
+  Lb_check.Sched_tree.choose sched ~step ~enabled:runnable
+
 (* Replay a recorded schedule: consume entries (skipping ones that are not
    runnable at that step), then finish the run round-robin so the verdict is
    always about a completed run.  Deterministic. *)
-let replay_scheduler entries =
-  let remaining = ref entries in
-  fun ~step ~runnable ->
-    let rec pick () =
-      match !remaining with
-      | [] -> Scheduler.round_robin ~step ~runnable
-      | pid :: rest ->
-        remaining := rest;
-        if List.mem pid runnable then Some pid else pick ()
-    in
-    pick ()
+let replay_scheduler entries = tree_scheduler (Lb_check.Sched_tree.replayer entries)
 
 let replay ~construction ~ot ~plan ~n ~ops ~seed ~max_states schedule =
   run_once ~construction ~ot ~plan ~n ~ops ~seed ~max_states
@@ -339,7 +352,7 @@ let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~schedules
       let seed_i = seed + i in
       let r =
         run_once ~construction ~ot ~plan ~n ~ops ~seed:seed_i ~max_states
-          ~scheduler:(Scheduler.random ~seed:seed_i) ()
+          ~scheduler:(tree_scheduler (Lb_check.Sched_tree.sampler ~seed:seed_i)) ()
       in
       match r.verdict with
       | Pass ->

@@ -62,6 +62,38 @@ type run = {
 val same_class : verdict -> verdict -> bool
 (** Same constructor (the shrinker's notion of "reproduces the failure"). *)
 
+val execute :
+  construction:Iface.t ->
+  ot:object_type ->
+  plan:Fault_plan.t ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  ?wrap_hooks:(Harness.fault_hooks -> Harness.fault_hooks) ->
+  scheduler:Scheduler.choice ->
+  unit ->
+  Harness.result * int list
+(** Drive one execution (construction and fault engine instantiated on a
+    fresh memory) and return the harness result plus the recorded
+    schedule.  [wrap_hooks] interposes on the fault hooks — the exhaustive
+    checker taps [filter] to read each process's pending shared operation
+    for its dependency footprints. *)
+
+val assess :
+  construction:Iface.t ->
+  ot:object_type ->
+  plan:Fault_plan.t ->
+  n:int ->
+  ops:int ->
+  max_states:int ->
+  schedule:int list ->
+  Harness.result ->
+  run
+(** Judge an executed run: completion accounting, the analytic cost bound,
+    give-up excuses, then {!Linearize}.  [run_once] is [execute] followed
+    by [assess]; the exhaustive checker shares this judge so a schedule is
+    assessed identically however it was produced. *)
+
 val run_once :
   construction:Iface.t ->
   ot:object_type ->
@@ -73,6 +105,12 @@ val run_once :
   scheduler:Scheduler.choice ->
   unit ->
   run
+
+val tree_scheduler : 'k Lb_check.Sched_tree.sched -> Scheduler.choice
+(** View a {!Lb_check.Sched_tree} oracle as a harness scheduler: the
+    fuzzer's random sampling ({!Lb_check.Sched_tree.sampler}), replay
+    ({!Lb_check.Sched_tree.replayer}) and the exhaustive checker's DPOR
+    walk all draw schedules from the same abstraction. *)
 
 val replay :
   construction:Iface.t ->

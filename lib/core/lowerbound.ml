@@ -19,6 +19,9 @@
       {!Atomic}, {!History}: object types and linearizability;
     - {!Iface}, {!Adt_tree}, {!Herlihy}, {!Direct}, {!Harness},
       {!Complexity}: universal constructions and their measurement;
+    - {!Pure_memory}, {!Explore}, {!Sched_tree}: the model-checking layer —
+      value-semantics shared memory, full/reduced interleaving enumeration,
+      and the bounded-DPOR scheduler tree behind [--exhaustive];
     - {!Json}, {!Event}, {!Tracer}, {!Trace_file}, {!Trace_diff}, {!Metrics},
       {!Bench_out}: the observability layer — structured trace events, the
       metrics registry and machine-readable benchmark artifacts;
@@ -28,9 +31,10 @@
       fault injection (crashes, recovery, weak LL/SC, delays) and the
       wait-freedom-under-adversity certification driver;
     - {!Conf_history}, {!Linearize}, {!Mutate}, {!Schedule_fuzz}, {!Shrink},
-      {!Conformance}: the conformance subsystem — histories with pending
-      operations, the Wing–Gong checker, mutation testing, differential
-      schedule fuzzing and counterexample shrinking;
+      {!Conformance}, {!Exhaustive}: the conformance subsystem — histories
+      with pending operations, the Wing–Gong checker, mutation testing,
+      differential schedule fuzzing, counterexample shrinking, and
+      bounded-exhaustive certification over {!Sched_tree}'s DPOR;
     - {!Problem}, {!Reductions}, {!Direct_algorithms}, {!Randomized},
       {!Cheaters}, {!Corpus}: the wakeup problem and its algorithm corpus;
     - {!Hw_memory}, {!Hw_recorder}, {!Hw_run}, {!Hw_harness}, {!Hw_bench}:
@@ -98,6 +102,7 @@ module Complexity = Lb_universal.Complexity
 (* Exhaustive checking *)
 module Pure_memory = Lb_check.Pure_memory
 module Explore = Lb_check.Explore
+module Sched_tree = Lb_check.Sched_tree
 
 (* Extensions (Section 7) *)
 module Rmw = Lb_extensions.Rmw
@@ -129,6 +134,7 @@ module Mutate = Lb_conformance.Mutate
 module Schedule_fuzz = Lb_conformance.Fuzz
 module Shrink = Lb_conformance.Shrink
 module Conformance = Lb_conformance.Conform
+module Exhaustive = Lb_conformance.Exhaustive
 
 (* Hardware backend *)
 module Hw_memory = Lb_hardware.Hw_memory

@@ -468,6 +468,84 @@ let test_matrix_jobs_invariant () =
   Alcotest.(check string) "jobs=3 report = sequential report" sequential (run 3);
   Alcotest.(check string) "jobs=0 (auto) report = sequential report" sequential (run 0)
 
+(* ---- bounded-exhaustive certification ---- *)
+
+let test_exhaustive_certifies_cell () =
+  (* The whole in-bound schedule space of herlihy/fetch-inc at n=2 under
+     the default pre-emption bound: every schedule passes, and the walk
+     is deterministic, so the counts pin the exploration itself. *)
+  let cert =
+    Exhaustive.certify_cell ~construction:herlihy ~ot:fetch_inc ~plan_name:"none"
+      ~plan:Fault_plan.none ~n:2 ~ops:1 ~seed:42 ~max_states:200_000 ()
+  in
+  Alcotest.(check bool) "cell certified" true (Exhaustive.cert_ok cert);
+  Alcotest.(check int) "182 in-bound schedules" 182
+    cert.Exhaustive.xc_stats.Sched_tree.schedules;
+  Alcotest.(check int) "132 schedules elided by the bound" 132
+    cert.Exhaustive.xc_stats.Sched_tree.elided;
+  Alcotest.(check bool) "bound truncation reported" true
+    (not (Sched_tree.exhaustive cert.Exhaustive.xc_stats));
+  Alcotest.(check bool) "no counterexample" true
+    (cert.Exhaustive.xc_counterexample = None)
+
+let test_exhaustive_impure_plan_degrades () =
+  (* A non-empty fault plan makes every step blocking: nothing commutes,
+     the walk degrades to bounded enumeration — but still completes and
+     still certifies (crash-stopped ops are pending, not violations). *)
+  let plan = Fault_plan.crash_stop ~pid:0 ~after:2 in
+  Alcotest.(check bool) "crash-stop plan is impure" false (Exhaustive.pure plan);
+  let cert =
+    Exhaustive.certify_cell ~construction:herlihy ~ot:fetch_inc ~plan_name:"crash-stop"
+      ~plan ~n:2 ~ops:1 ~seed:42
+      ~bounds:{ Sched_tree.no_bounds with preempt = Some 1 }
+      ~max_states:200_000 ()
+  in
+  Alcotest.(check bool) "faulted cell certified" true (Exhaustive.cert_ok cert);
+  Alcotest.(check bool) "walk ran" true (cert.Exhaustive.xc_stats.Sched_tree.schedules > 0)
+
+let test_exhaustive_kills_mutants () =
+  (* The exhaustive kill is a stronger claim than the fuzzer's: SOME
+     in-bound schedule fails, found by systematic walk, not sampling. *)
+  List.iter
+    (fun name ->
+      let mutant =
+        match Mutate.find name with
+        | Some m -> m
+        | None -> Alcotest.failf "%s mutant missing" name
+      in
+      let mc =
+        Exhaustive.certify_mutant ~construction:herlihy ~mutant ~n:3 ~ops:1 ~seed:42
+          ~max_states:200_000 ()
+      in
+      Alcotest.(check bool) (name ^ " fired") true (mc.Exhaustive.xm_fired > 0);
+      Alcotest.(check bool) (name ^ " killed in-bounds") true
+        (Exhaustive.mutant_cert_killed mc);
+      match mc.Exhaustive.xm_cert.Exhaustive.xc_counterexample with
+      | None -> Alcotest.fail (name ^ ": killed but no counterexample")
+      | Some cx ->
+        Alcotest.(check bool) (name ^ ": counterexample is locally minimal") true
+          cx.Schedule_fuzz.locally_minimal)
+    [ "drop-sc-validation"; "stale-ll"; "lost-sc-write"; "lost-swap-write" ]
+
+let test_exhaustive_report_json () =
+  let report =
+    {
+      Exhaustive.certs =
+        [
+          Exhaustive.certify_cell ~construction:herlihy ~ot:fetch_inc ~plan_name:"none"
+            ~plan:Fault_plan.none ~n:2 ~ops:1 ~seed:3
+            ~bounds:{ Sched_tree.no_bounds with preempt = Some 1 }
+            ~max_states:200_000 ();
+        ];
+      mutants = [];
+    }
+  in
+  Alcotest.(check bool) "report ok" true (Exhaustive.ok report);
+  let json = Exhaustive.json_of_report report in
+  match Json.parse (Json.to_string json) with
+  | Ok j -> Alcotest.(check bool) "JSON round-trip" true (j = json)
+  | Error e -> Alcotest.failf "exhaustive report JSON unparsable: %s" e
+
 let suite =
   [
     Alcotest.test_case "history: of_events lifecycle + ghosts" `Quick test_history_of_events;
@@ -497,4 +575,11 @@ let suite =
     Alcotest.test_case "conform: report gate + JSON" `Quick test_conform_report_json;
     Alcotest.test_case "conform: matrices invariant under --jobs" `Slow
       test_matrix_jobs_invariant;
+    Alcotest.test_case "exhaustive: clean cell certified, counts pinned" `Quick
+      test_exhaustive_certifies_cell;
+    Alcotest.test_case "exhaustive: impure plan degrades but certifies" `Quick
+      test_exhaustive_impure_plan_degrades;
+    Alcotest.test_case "exhaustive: every mutant killed in-bounds" `Slow
+      test_exhaustive_kills_mutants;
+    Alcotest.test_case "exhaustive: report gate + JSON" `Quick test_exhaustive_report_json;
   ]
