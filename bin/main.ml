@@ -536,9 +536,21 @@ let conform_cmd =
       & opt (some string) None
       & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report to $(docv) as JSON.")
   in
+  let model_arg =
+    Arg.(
+      value & opt string "sc"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Memory model to run every cell under: $(b,sc) (default), $(b,tso) or $(b,pso).               The constructions use only the fencing LL/SC repertoire, so conformance must              survive relaxation unchanged — see docs/MEMORY_MODELS.md.")
+  in
   let run () target n seed typ plan_name ops schedules max_states mutate exhaustive preempt
-      fair len max_schedules report_file jobs =
+      fair len max_schedules report_file model_name jobs =
     let jobs = resolve_jobs jobs in
+    let model =
+      match Memory_model.of_string model_name with
+      | Ok m -> m
+      | Error msg -> failwith msg
+    in
     let constructions =
       if target = "all" then Conformance.constructions
       else
@@ -586,14 +598,14 @@ let conform_cmd =
           {
             Exhaustive.certs = [];
             mutants =
-              Exhaustive.mutant_matrix ~jobs ~constructions ~n ~ops ~seed ~bounds
+              Exhaustive.mutant_matrix ~jobs ~constructions ~model ~n ~ops ~seed ~bounds
                 ~max_schedules ~max_states ();
           }
         else
           {
             Exhaustive.certs =
-              Exhaustive.matrix ~jobs ~constructions ~types:(types ()) ~plans:(plans ()) ~n
-                ~ops ~seed ~bounds ~max_schedules ~max_states ();
+              Exhaustive.matrix ~jobs ~constructions ~types:(types ()) ~plans:(plans ())
+                ~model ~n ~ops ~seed ~bounds ~max_schedules ~max_states ();
             mutants = [];
           }
       in
@@ -607,14 +619,14 @@ let conform_cmd =
           {
             Conformance.cells = [];
             mutants =
-              Conformance.mutation_matrix ~jobs ~constructions ~n ~ops ~schedules ~seed
-                ~max_states ();
+              Conformance.mutation_matrix ~jobs ~constructions ~model ~n ~ops ~schedules
+                ~seed ~max_states ();
           }
         else
           {
             Conformance.cells =
               Conformance.fuzz_matrix ~jobs ~constructions ~types:(types ()) ~plans:(plans ())
-                ~n ~ops ~schedules ~seed ~max_states ();
+                ~model ~n ~ops ~schedules ~seed ~max_states ();
             mutants = [];
           }
       in
@@ -635,7 +647,8 @@ let conform_cmd =
     Term.(
       const run $ logging $ target_arg $ cn_arg $ seed_arg $ type_arg $ plan_arg $ ops_arg
       $ schedules_arg $ max_states_arg $ mutate_flag $ exhaustive_flag $ preempt_bound_arg
-      $ fair_bound_arg $ len_bound_arg $ max_schedules_arg $ report_arg $ jobs_arg)
+      $ fair_bound_arg $ len_bound_arg $ max_schedules_arg $ report_arg $ model_arg
+      $ jobs_arg)
 
 (* ---- hw ---- *)
 
@@ -847,6 +860,108 @@ let explore_cmd =
           a small n (exit 3 if violations are found); $(b,--reduced) prunes commuting and \
           revisited schedules first.")
     Term.(const run $ logging $ name_arg $ n_arg $ max_runs_arg $ reduced_flag)
+
+(* ---- litmus ---- *)
+
+let litmus_cmd =
+  let test_arg =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TEST"
+          ~doc:
+            "Litmus test to run ($(b,SB), $(b,SB+fence), $(b,SB+rmw), $(b,MP), \
+             $(b,MP+fence), $(b,MP+rmw), $(b,LB), $(b,IRIW)) or $(b,all).")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-runs" ] ~docv:"K"
+          ~doc:"Abort a per-model DPOR walk past this many runs (an error).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the report to $(docv) as JSON.")
+  in
+  let json_of_outcome o =
+    Json.Arr (List.map (fun (_, v) -> Json.Int v) o)
+  in
+  let json_of_cell (c : Litmus.cell) =
+    Json.(
+      Obj
+        [
+          ("model", Str (Memory_model.to_string c.Litmus.model));
+          ("outcomes", Int c.Litmus.outcome_count);
+          ("admitted", Bool c.Litmus.admitted);
+          ("expected", Bool c.Litmus.expected);
+          ("sc_equal", Bool c.Litmus.sc_equal);
+          ("ok", Bool (Litmus.cell_ok c));
+        ])
+  in
+  let json_of_verdict (v : Litmus.verdict) =
+    Json.(
+      Obj
+        [
+          ("name", Str v.Litmus.test.Litmus.name);
+          ("description", Str v.Litmus.test.Litmus.description);
+          ("relaxed_outcome", json_of_outcome v.Litmus.test.Litmus.relaxed_outcome);
+          ("cells", Arr (List.map json_of_cell v.Litmus.cells));
+          ("lattice_ok", Bool v.Litmus.lattice_ok);
+          ("ok", Bool v.Litmus.ok);
+        ])
+  in
+  let run () test max_runs report_file =
+    let whole_catalog = test = "all" in
+    let tests =
+      if whole_catalog then Litmus.catalog
+      else
+        match Litmus.find test with
+        | Some t -> [ t ]
+        | None ->
+          failwith
+            (Printf.sprintf "unknown litmus test %S (one of: %s, or all)" test
+               (String.concat ", " (List.map (fun t -> t.Litmus.name) Litmus.catalog)))
+    in
+    let verdicts = List.map (Litmus.check ~max_runs) tests in
+    List.iter (fun v -> Format.printf "%a@.@." Litmus.pp_verdict v) verdicts;
+    (* Pairwise separation is a property of the catalog, not of one test. *)
+    let distinguishes = whole_catalog && Litmus.distinguishes_all_models verdicts in
+    let ok = Litmus.all_ok verdicts && ((not whole_catalog) || distinguishes) in
+    if whole_catalog then
+      Format.printf "models pairwise distinguished: %b@." distinguishes;
+    Format.printf "litmus: %d test%s x %d models -> %s@." (List.length verdicts)
+      (if List.length verdicts = 1 then "" else "s")
+      (List.length Memory_model.all)
+      (if ok then "PASS" else "MISMATCH");
+    Option.iter
+      (fun path ->
+        let json =
+          Json.(
+            Obj
+              [
+                ("tests", Arr (List.map json_of_verdict verdicts));
+                ("distinguishes_all_models", Bool distinguishes);
+                ("ok", Bool ok);
+              ])
+        in
+        let oc = open_out path in
+        output_string oc (Json.to_string ~pretty:true json);
+        output_string oc "\n";
+        close_out oc;
+        Format.printf "report written to %s@." path)
+      report_file;
+    if ok then 0 else 3
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Run the memory-model litmus suite: enumerate each test's exact outcome set under \
+          SC, TSO and PSO by exhaustive DPOR (flushes in the decision alphabet) and compare \
+          against the expected admissibility of its relaxed outcome — SB must separate SC \
+          from TSO/PSO, MP must separate TSO from PSO, fenced variants must restore SC \
+          (exit 3 on any mismatch).")
+    Term.(const run $ logging $ test_arg $ max_runs_arg $ report_arg)
 
 (* ---- serve / request: the experiment service layer (lib/service) ---- *)
 
@@ -1714,9 +1829,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "lowerbound" ~version:"1.0.0" ~doc)
     [
-      exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; profile_cmd;
-      upsets_cmd; faults_cmd; conform_cmd; hw_cmd; serve_cmd; request_cmd; chaos_cmd;
-      shard_cmd; loadgen_cmd;
+      exp_cmd; corpus_cmd; analyze_cmd; trace_cmd; sweep_cmd; explore_cmd; litmus_cmd;
+      profile_cmd; upsets_cmd; faults_cmd; conform_cmd; hw_cmd; serve_cmd; request_cmd;
+      chaos_cmd; shard_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -68,7 +68,8 @@ let exec_round t ~select ~move_order =
          (fun pid ->
            match pending pid with
            | Op.Move (src, dst) -> (pid, (src, dst))
-           | Op.Ll _ | Op.Sc _ | Op.Validate _ | Op.Swap _ -> assert false)
+           | Op.Ll _ | Op.Sc _ | Op.Validate _ | Op.Swap _ | Op.Write _ | Op.Fence ->
+             assert false)
          movers)
   in
   let sigma = move_order move_spec in

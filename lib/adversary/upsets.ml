@@ -24,7 +24,12 @@ let step prev (round : 'a Round.t) =
   let regs = Hashtbl.copy prev.regs in
   let affected =
     List.sort_uniq Int.compare
-      (List.map (fun e -> Op.target e.Round.invocation) round.Round.events)
+      (List.concat_map
+         (fun e ->
+           match e.Round.invocation with
+           | Op.Fence -> [] (* names no register *)
+           | inv -> [ Op.target inv ])
+         round.Round.events)
   in
   List.iter
     (fun reg ->
@@ -62,6 +67,10 @@ let step prev (round : 'a Round.t) =
           | Op.Sc (reg, _), Op.Flagged (true, _) -> Ids.union up (reg_up prev reg)
           | Op.Sc (reg, _), Op.Flagged (false, _) -> Ids.union up (reg_up next reg)
           | Op.Sc _, (Op.Value _ | Op.Ack) -> assert false
+          | (Op.Write _ | Op.Fence), _ ->
+            (* Weak-memory extensions: neither reads shared state, so no
+               knowledge joins.  The round adversary never issues them. *)
+            up
         in
         (* Keep the old pointer when nothing changed: layers share structure,
            which matters on long runs (memory is otherwise O(n * rounds^2)). *)

@@ -3,6 +3,7 @@ open Lb_runtime
 
 type 'a event =
   | Stepped of int * Op.invocation * Op.response
+  | Flushed of int * int * Value.t
   | Returned of int * 'a
 
 type 'a run = { events : 'a event list; results : (int * 'a) list }
@@ -34,15 +35,33 @@ let rec remove_runnable pid = function
   | [] -> []
   | p :: rest -> if p = pid then rest else p :: remove_runnable pid rest
 
-let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000) ~f () =
+(* Drain every non-empty buffer (ascending pid, issue order within one) and
+   record the flushes — run-end quiescence under a relaxed model, and the
+   eager-flush discipline after each step.  [events] is newest-first. *)
+let drain_all memory events =
+  List.fold_left
+    (fun (m, evs) (pid, entries) ->
+      let evs =
+        List.fold_left (fun evs (r, v) -> Flushed (pid, r, v) :: evs) evs entries
+      in
+      (Pure_memory.drain m ~pid, evs))
+    (memory, events) (Pure_memory.buffers memory)
+
+let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(model = Memory_model.SC)
+    ?(eager_flush = false) ?(max_runs = 200_000) ~f () =
   if coin_range = [] then invalid_arg "Explore.iter: empty coin range";
   let count = ref 0 in
-  let memory0 = Pure_memory.create ~inits () in
+  let memory0 = Pure_memory.create ~inits ~model () in
   (* [procs] is a persistent map pid -> proc so branches share state. *)
   let module Pmap = Map.Make (Int) in
-  let emit procs events =
+  let emit memory procs events =
     incr count;
     if !count > max_runs then raise (Limit_exceeded max_runs);
+    (* Run-end quiescence: remaining buffered writes drain deterministically.
+       Their order cannot change results (every process has returned) nor the
+       final memory (per-register FIFO), so branching over it would only
+       multiply equivalent runs. *)
+    let _, events = drain_all memory events in
     let results =
       Pmap.bindings procs
       |> List.map (fun (pid, p) ->
@@ -57,7 +76,7 @@ let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000
      per-step scan of the whole process map is needed. *)
   let rec go memory procs runnable events =
     match runnable with
-    | [] -> emit procs events
+    | [] -> emit memory procs events
     | _ :: _ ->
       List.iter
         (fun pid ->
@@ -65,6 +84,12 @@ let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000
           | Done _ -> assert false
           | Blocked (inv, k) ->
             let response, memory' = Pure_memory.apply memory ~pid inv in
+            (* Eager-flush discipline: commit the step's buffered writes
+               before anything else runs — the schedule shape whose outcome
+               set coincides with SC (tested as a property). *)
+            let memory', flush_events =
+              if eager_flush then drain_all memory' [] else (memory', [])
+            in
             let stepped = Stepped (pid, inv, response) in
             List.iter
               (fun (proc', expand_events, _) ->
@@ -74,9 +99,17 @@ let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000
                   | Blocked _ -> runnable
                 in
                 go memory' (Pmap.add pid proc' procs) runnable'
-                  (expand_events @ (stepped :: events)))
+                  (expand_events @ flush_events @ (stepped :: events)))
               (expand coin_range pid (k response)))
-        runnable
+        runnable;
+      (* Under a relaxed model every enabled flush is also a scheduling
+         choice, interleaved freely with process steps. *)
+      List.iter
+        (fun (pid, reg) ->
+          let memory' = Pure_memory.flush memory ~pid ~reg in
+          let v = Pure_memory.peek memory' reg in
+          go memory' procs runnable (Flushed (pid, reg, v) :: events))
+        (Pure_memory.flushable memory)
   in
   (* Initial expansion of every process (cartesian product over processes).
      [runnable] accumulates in descending order; reversed once at the root. *)
@@ -96,17 +129,20 @@ let iter ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ]) ?(max_runs = 200_000
 
 exception Found
 
-let for_all ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
+let for_all ~n ~program_of ?inits ?coin_range ?model ?eager_flush ?max_runs ~f () =
   try
     ignore
-      (iter ~n ~program_of ?inits ?coin_range ?max_runs
+      (iter ~n ~program_of ?inits ?coin_range ?model ?eager_flush ?max_runs
          ~f:(fun run -> if not (f run) then raise Found)
          ());
     true
   with Found -> false
 
-let exists ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
-  not (for_all ~n ~program_of ?inits ?coin_range ?max_runs ~f:(fun run -> not (f run)) ())
+let exists ~n ~program_of ?inits ?coin_range ?model ?eager_flush ?max_runs ~f () =
+  not
+    (for_all ~n ~program_of ?inits ?coin_range ?model ?eager_flush ?max_runs
+       ~f:(fun run -> not (f run))
+       ())
 
 let steppers_before_first_one run =
   let rec go stepped = function
@@ -114,6 +150,8 @@ let steppers_before_first_one run =
     | Returned (_, 1) :: _ -> Some stepped
     | Returned (_, _) :: rest -> go stepped rest
     | Stepped (pid, _, _) :: rest -> go (Ids.add pid stepped) rest
+    (* A flush is the delayed tail of a Write already counted at its step. *)
+    | Flushed _ :: rest -> go stepped rest
   in
   go Ids.empty run.events
 
@@ -137,8 +175,22 @@ type stats = { runs : int; sleep_pruned : int; dedup_pruned : int }
    of the same register by different processes also commute — but register
    disjointness is the cheap sound check. *)
 let footprint = function
-  | Op.Ll r | Op.Sc (r, _) | Op.Validate r | Op.Swap (r, _) -> [ r ]
+  | Op.Ll r | Op.Sc (r, _) | Op.Validate r | Op.Swap (r, _) | Op.Write (r, _) -> [ r ]
   | Op.Move (src, dst) -> [ src; dst ]
+  | Op.Fence -> []
+
+(* The full dependency footprint of a step under the memory's model: fencing
+   operations also drain the issuing process's buffer, so their effect
+   extends to every register with a pending buffered write.  Buffers are
+   empty under SC, making this [footprint inv] there. *)
+let step_fp_regs memory ~pid inv =
+  let base = footprint inv in
+  match inv with
+  | Op.Ll _ | Op.Sc _ | Op.Swap _ | Op.Move _ | Op.Fence -> (
+    match Pure_memory.buffered_regs memory ~pid with
+    | [] -> base
+    | buffered -> List.sort_uniq Int.compare (base @ buffered))
+  | Op.Validate _ | Op.Write _ -> base
 
 let conflicts a b =
   let fa = footprint a in
@@ -157,7 +209,8 @@ let update_summary summary chrono_events =
       | After _, _ -> s
       | Before stepped, Stepped (pid, _, _) -> Before (Ids.add pid stepped)
       | Before stepped, Returned (_, 1) -> After stepped
-      | Before _, Returned (_, _) -> s)
+      | Before _, Returned (_, _) -> s
+      | Before _, Flushed _ -> s)
     summary chrono_events
 
 let iter_reduced ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
@@ -198,7 +251,7 @@ let iter_reduced ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
     match runnable with
     | [] -> emit procs events
     | _ :: _ -> (
-      let key = (Pure_memory.canonical memory, Pmap.bindings hists, summary) in
+      let key = (Pure_memory.canonical_full memory, Pmap.bindings hists, summary) in
       match Hashtbl.find_opt visited key with
       | Some old_sleep when Ids.subset old_sleep sleep -> incr dedup_pruned
       | previous ->
@@ -287,10 +340,16 @@ let for_all_reduced ~n ~program_of ?inits ?coin_range ?max_runs ~f () =
 (* ---- dynamic partial-order reduction ---- *)
 
 let iter_dpor ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
-    ?(bounds = Sched_tree.no_bounds) ?(dedup = true) ?(max_runs = 200_000) ~f () =
+    ?(model = Memory_model.SC) ?(bounds = Sched_tree.no_bounds) ?(dedup = true)
+    ?(max_runs = 200_000) ~f () =
   if coin_range = [] then invalid_arg "Explore.iter_dpor: empty coin range";
   let module Pmap = Map.Make (Int) in
-  let memory0 = Pure_memory.create ~inits () in
+  let memory0 = Pure_memory.create ~inits ~model () in
+  (* Flush actions are scheduler-visible decisions, so they need ids in the
+     tree's decision alphabet.  flush(p, r) ↦ n*(1+r)+p: injective, disjoint
+     from pids 0..n-1, and stable across runs (the same tree node always
+     re-derives the same memory, hence the same flushable set). *)
+  let flush_id (pid, reg) = (n * (1 + reg)) + pid in
   (* One run under the oracle: the same forced initial expansion and step
      semantics as [iter_reduced], but scheduling decisions, coin-branch
      selection, and state dedup all delegate to the scheduler tree. *)
@@ -306,7 +365,7 @@ let iter_dpor ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
     let mark () =
       if dedup then
         Sched_tree.mark sched
-          ~key:(Pure_memory.canonical !memory, Pmap.bindings !hists, !summary)
+          ~key:(Pure_memory.canonical_full !memory, Pmap.bindings !hists, !summary)
     in
     (* Initial expansion: one forced pseudo-decision per process, so initial
        coin branches are siblings in the tree like any other branch. *)
@@ -335,22 +394,61 @@ let iter_dpor ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
         mark ());
       incr pid
     done;
-    while (not !aborted) && !runnable <> [] do
-      match Sched_tree.choose sched ~step:!step ~enabled:!runnable with
+    (* Flushes stay schedulable after every process has returned: they must
+       pass through the tree (not drain silently) so they appear in traces —
+       DPOR only backtracks around steps that occur in some executed run, and
+       a flush that never executes can never be raced against a read. *)
+    let enabled_now () =
+      !runnable @ List.map flush_id (Pure_memory.flushable !memory)
+    in
+    let enabled = ref (enabled_now ()) in
+    while (not !aborted) && !enabled <> [] do
+      match Sched_tree.choose sched ~step:!step ~enabled:!enabled with
       | None -> aborted := true
+      | Some id when id >= n ->
+        (* A flush decision: apply the oldest buffered write.  Its footprint
+           is the flushed register — this is where a buffered write becomes
+           dependent with other processes' accesses. *)
+        let pid = id mod n and reg = (id / n) - 1 in
+        let memory' = Pure_memory.flush !memory ~pid ~reg in
+        let v = Pure_memory.peek memory' reg in
+        ignore
+          (Sched_tree.commit sched
+             ~fp:{ Sched_tree.regs = [ reg ]; blocking = false }
+             ~branches:1);
+        memory := memory';
+        events := Flushed (pid, reg, v) :: !events;
+        incr step;
+        enabled := enabled_now ();
+        mark ()
       | Some pid -> (
         match Pmap.find pid !procs with
         | Done _ -> assert false
         | Blocked (inv, k) ->
+          (* The footprint of a fencing step includes the registers its
+             buffer drain writes, so compute it before applying.  A fencing
+             step also absorbs the enabled flush decisions of its own
+             buffer — capture them now and report them to the tree after
+             the commit, or "flush early, interleave, then fence" schedules
+             would be unexplorable (an absorbed flush never appears in any
+             trace, and DPOR only backtracks around observed steps). *)
+          let fp_regs = step_fp_regs !memory ~pid inv in
+          let absorbed =
+            match inv with
+            | Op.Ll _ | Op.Sc _ | Op.Swap _ | Op.Move _ | Op.Fence ->
+              List.filter (fun (p, _) -> p = pid) (Pure_memory.flushable !memory)
+            | Op.Validate _ | Op.Write _ -> []
+          in
           let response, memory' = Pure_memory.apply !memory ~pid inv in
           let stepped = Stepped (pid, inv, response) in
           let branches = expand coin_range pid (k response) in
           let blocking = List.exists (fun (_, evs, _) -> evs <> []) branches in
           let b =
             Sched_tree.commit sched
-              ~fp:{ Sched_tree.regs = footprint inv; blocking }
+              ~fp:{ Sched_tree.regs = fp_regs; blocking }
               ~branches:(List.length branches)
           in
+          List.iter (fun pr -> Sched_tree.also sched ~pid:(flush_id pr)) absorbed;
           let proc', expand_events, outcomes = List.nth branches b in
           summary := update_summary !summary (stepped :: List.rev expand_events);
           hists :=
@@ -362,6 +460,7 @@ let iter_dpor ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
           | Blocked _ -> ());
           events := expand_events @ (stepped :: !events);
           incr step;
+          enabled := enabled_now ();
           mark ())
     done;
     if !aborted then None
@@ -383,10 +482,10 @@ let iter_dpor ~n ~program_of ?(inits = []) ?(coin_range = [ 0 ])
       ()
   with Sched_tree.Schedule_limit k -> raise (Limit_exceeded k)
 
-let for_all_dpor ~n ~program_of ?inits ?coin_range ?bounds ?dedup ?max_runs ~f () =
+let for_all_dpor ~n ~program_of ?inits ?coin_range ?model ?bounds ?dedup ?max_runs ~f () =
   try
     ignore
-      (iter_dpor ~n ~program_of ?inits ?coin_range ?bounds ?dedup ?max_runs
+      (iter_dpor ~n ~program_of ?inits ?coin_range ?model ?bounds ?dedup ?max_runs
          ~f:(fun run -> if not (f run) then raise Found)
          ());
     true

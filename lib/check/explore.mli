@@ -19,6 +19,13 @@ open Lb_runtime
 type 'a event =
   | Stepped of int * Op.invocation * Op.response
       (** a process performed a shared-memory operation. *)
+  | Flushed of int * int * Value.t
+      (** [Flushed (pid, reg, v)] — a buffered write by [pid] of [v] into
+          [reg] reached shared memory (relaxed models only; see
+          {!Lb_memory.Memory_model}).  Flushes are scheduler-visible steps:
+          the explorers interleave them freely with process steps, and any
+          buffers still pending when every process has returned drain
+          deterministically at run end (their order is unobservable). *)
   | Returned of int * 'a  (** a process terminated with a result. *)
 
 type 'a run = {
@@ -41,6 +48,8 @@ val iter :
   program_of:(int -> 'a Program.t) ->
   ?inits:(int * Value.t) list ->
   ?coin_range:int list ->
+  ?model:Memory_model.t ->
+  ?eager_flush:bool ->
   ?max_runs:int ->
   f:('a run -> unit) ->
   unit ->
@@ -48,13 +57,23 @@ val iter :
 (** Enumerate every terminating run; call [f] on each; return the count.
     [coin_range] defaults to [[0]] (deterministic algorithms); [max_runs]
     defaults to 200_000.  All programs must terminate on every schedule —
-    a non-terminating branch diverges (use bounded programs). *)
+    a non-terminating branch diverges (use bounded programs).
+
+    [model] (default SC) selects the memory model; under TSO/PSO every
+    enabled flush is enumerated as a scheduling choice alongside process
+    steps, so the run set covers all bufferings.  [eager_flush] (default
+    false) instead commits each step's buffered writes immediately after the
+    step — the restricted schedule shape under which a relaxed model's
+    outcome set provably coincides with SC (pinned as a property in the test
+    suite); it is a no-op under SC. *)
 
 val for_all :
   n:int ->
   program_of:(int -> 'a Program.t) ->
   ?inits:(int * Value.t) list ->
   ?coin_range:int list ->
+  ?model:Memory_model.t ->
+  ?eager_flush:bool ->
   ?max_runs:int ->
   f:('a run -> bool) ->
   unit ->
@@ -65,6 +84,8 @@ val exists :
   program_of:(int -> 'a Program.t) ->
   ?inits:(int * Value.t) list ->
   ?coin_range:int list ->
+  ?model:Memory_model.t ->
+  ?eager_flush:bool ->
   ?max_runs:int ->
   f:('a run -> bool) ->
   unit ->
@@ -158,6 +179,7 @@ val iter_dpor :
   program_of:(int -> int Program.t) ->
   ?inits:(int * Value.t) list ->
   ?coin_range:int list ->
+  ?model:Memory_model.t ->
   ?bounds:Sched_tree.bounds ->
   ?dedup:bool ->
   ?max_runs:int ->
@@ -174,13 +196,23 @@ val iter_dpor :
     traces and can explode on long programs (tree-collect at n=2 already
     does) — use it only on small systems or under [bounds].  [max_runs]
     (default 200_000) caps total run executions and raises
-    {!Limit_exceeded} when hit. *)
+    {!Limit_exceeded} when hit.
+
+    [model] (default SC): under TSO/PSO, enabled flushes join the tree's
+    decision alphabet as pseudo-process ids (stable across replays because
+    the flushable set is a function of the re-derived state), each with the
+    flushed register as footprint; a fencing step's footprint is widened by
+    its dynamically buffered registers; and the dedup key includes buffer
+    contents — a buffered-but-unflushed write is part of canonical state.
+    {!iter_reduced} has no [model] parameter: its static sleep-set
+    machinery predates the flush alphabet, so it explores SC only. *)
 
 val for_all_dpor :
   n:int ->
   program_of:(int -> int Program.t) ->
   ?inits:(int * Value.t) list ->
   ?coin_range:int list ->
+  ?model:Memory_model.t ->
   ?bounds:Sched_tree.bounds ->
   ?dedup:bool ->
   ?max_runs:int ->

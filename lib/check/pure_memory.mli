@@ -1,31 +1,67 @@
 (** Immutable shared memory, for exhaustive exploration.
 
-    Same semantics as {!Lb_memory.Memory}, but [apply] returns a new memory
-    instead of mutating — so the model checker can branch on every
-    interleaving without copying or undo logs (persistent maps share
-    structure between branches). *)
+    Same semantics as {!Lb_memory.Memory} — including the {!Lb_memory.Memory_model}
+    axis — but [apply] returns a new memory instead of mutating, so the model
+    checker can branch on every interleaving without copying or undo logs
+    (persistent maps share structure between branches). *)
 
 open Lb_memory
 
 type t
 
-val create : ?default:Value.t -> inits:(int * Value.t) list -> unit -> t
+val create :
+  ?default:Value.t -> ?model:Memory_model.t -> inits:(int * Value.t) list -> unit -> t
 (** A memory whose registers all read [default] (unit when omitted) except
-    the listed initial bindings. *)
+    the listed initial bindings.  [model] defaults to {!Memory_model.SC}. *)
+
+val model : t -> Memory_model.t
 
 val apply : t -> pid:int -> Op.invocation -> Op.response * t
 (** Raises [Invalid_argument] on negative registers or self-moves, like the
-    mutable memory. *)
+    mutable memory.  Under a relaxed model, [Write] buffers, [Fence] and the
+    synchronisation operations drain the issuing process's buffer first, and
+    [Validate] reads buffer-first — see {!Lb_memory.Memory.apply}. *)
 
 val peek : t -> int -> Value.t
-(** Current value of a register, without counting as a shared access. *)
+(** Current value of a register (shared memory, ignoring buffers), without
+    counting as a shared access. *)
 
 val pset : t -> int -> Ids.t
 (** Current Pset of a register. *)
 
+(** {1 Store buffers (TSO / PSO)}
+
+    The persistent mirror of {!Lb_memory.Memory}'s buffer interface; see
+    there for the semantics.  All raise / return the same way. *)
+
+val flushable : t -> (int * int) list
+(** Enabled flush actions as sorted [(pid, reg)] pairs; [[]] under SC. *)
+
+val flush : t -> pid:int -> reg:int -> t
+(** Apply the oldest buffered write by [pid] to [reg]; raises
+    [Invalid_argument] when [(pid, reg)] is not in {!flushable}. *)
+
+val drain : t -> pid:int -> t
+(** Apply [pid]'s whole buffer in issue order and empty it — the fence
+    effect.  A no-op when the buffer is empty (in particular under SC). *)
+
+val buffers : t -> (int * (int * Value.t) list) list
+(** Non-empty buffers as sorted [(pid, entries)] pairs, oldest entry first. *)
+
+val buffered_regs : t -> pid:int -> int list
+(** Sorted registers with a pending buffered write by [pid]. *)
+
 val canonical : t -> (int * (Value.t * Ids.t)) list
-(** The bindings that differ from the default state, in ascending register
-    order.  Two memories with the same default are observationally equal iff
-    their canonical forms are structurally equal ({!Lb_memory.Ids.t} values
-    built through the [Ids] API are themselves canonical), so the result is
-    usable as a dedup key. *)
+(** The {e shared-register} bindings that differ from the default state, in
+    ascending register order.  Two memories with the same default and {b no
+    buffered writes} are observationally equal iff their canonical forms are
+    structurally equal ({!Lb_memory.Ids.t} values built through the [Ids] API
+    are themselves canonical).  Under a relaxed model this is {e not} a
+    complete state key — a buffered-but-unflushed write is invisible here —
+    so dedup must use {!canonical_full}. *)
+
+val canonical_full : t -> (int * (Value.t * Ids.t)) list * (int * (int * Value.t) list) list
+(** [(canonical t, buffers t)] — the complete observational state, including
+    writes that are issued but not yet visible.  This is the dedup key the
+    explorers use; collapsing states that differ only in buffer contents
+    would be unsound (they diverge once the buffers flush). *)

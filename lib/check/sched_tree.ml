@@ -7,8 +7,9 @@ let dependent a b =
   a.blocking || b.blocking || List.exists (fun r -> List.mem r b.regs) a.regs
 
 let footprint = function
-  | Op.Ll r | Op.Sc (r, _) | Op.Validate r | Op.Swap (r, _) -> [ r ]
+  | Op.Ll r | Op.Sc (r, _) | Op.Validate r | Op.Swap (r, _) | Op.Write (r, _) -> [ r ]
   | Op.Move (src, dst) -> [ src; dst ]
+  | Op.Fence -> []
 
 type bounds = { preempt : int option; fair : int option; length : int option }
 
@@ -50,6 +51,7 @@ type tstep = {
   t_enabled : int list;
   t_sleep : entry list;  (* sleep set in force before this step. *)
   t_preempts : int;  (* pre-emptive switches strictly before this step. *)
+  mutable t_also : int list;  (* mandatory sibling decisions (see [also]). *)
 }
 
 type status = Running | Sleep_blocked | Bound_blocked | Deduped
@@ -201,6 +203,7 @@ let commit (s : _ sched) ~fp ~branches =
           t_enabled = enabled;
           t_sleep = sleep_before;
           t_preempts = d.d_preempts;
+          t_also = [];
         }
         :: d.d_trace;
       (match d.d_last with
@@ -215,6 +218,23 @@ let commit (s : _ sched) ~fp ~branches =
         if d.d_prefix = [] then d.d_sleep <- wake d.d_div_sleep fp
       | None -> d.d_sleep <- wake d.d_sleep fp);
       branch)
+
+(* A step that silently performs another enabled decision's effect hides
+   that decision from every trace, and a decision that never occurs in a
+   trace can never be raced — DPOR's backtracking only reverses observed
+   steps.  The canonical case is a fence draining the store buffer: the
+   drained flush pseudo-decisions vanish from the schedule, so "commit the
+   buffered write first, let other processes run, then fence" is never
+   explored.  [also] lets the runner declare such absorbed alternatives as
+   mandatory siblings of the step just committed; they become todo entries
+   like coin branches (not schedule-reducible), restoring completeness. *)
+let also (s : _ sched) ~pid =
+  match s with
+  | Sample _ | Replay _ -> ()
+  | Dpor d -> (
+    match d.d_trace with
+    | [] -> invalid_arg "Sched_tree.also: no committed step"
+    | t :: _ -> if not (List.mem pid t.t_also) then t.t_also <- pid :: t.t_also)
 
 let mark (s : _ sched) ~key =
   match s with
@@ -357,6 +377,15 @@ let incorporate root trace =
           done;
           e
       in
+      (* Absorbed alternatives (see [also]): mandatory unless the pid is
+         asleep here — asleep means the alternative was fully explored at
+         an ancestor and nothing dependent ran since, so taking it now
+         would only replay a covered interleaving. *)
+      List.iter
+        (fun p ->
+          if (not (asleep t.t_sleep p)) && not (has_decision node p) then
+            node.nd_todo <- node.nd_todo @ [ (p, 0) ])
+        t.t_also;
       if i + 1 < len then begin
         (match edge.ed_child with
         | None -> edge.ed_child <- Some (new_node trace.(i + 1).t_enabled)

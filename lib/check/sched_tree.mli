@@ -59,7 +59,10 @@ val dependent : fp -> fp -> bool
 
 val footprint : Lb_memory.Op.invocation -> int list
 (** The registers a shared-memory invocation may read or write — the
-    [regs] component of its {!fp}. *)
+    [regs] component of its {!fp}.  [Fence] is statically empty: its effect
+    (flushing buffered writes) depends on run-time buffer contents, so
+    relaxed-model explorers must union in the issuing process's buffered
+    registers (see [Explore.iter_dpor]); under SC a fence is a pure no-op. *)
 
 type bounds = {
   preempt : int option;
@@ -93,6 +96,20 @@ val commit : 'k sched -> fp:fp -> branches:int -> int
     runner must take.  Exactly one [commit] must follow each successful
     {!choose}.  Sibling branches become mandatory todo entries — coin
     outcomes are resolved eagerly and are not schedule-reducible. *)
+
+val also : 'k sched -> pid:int -> unit
+(** Declare [pid] a {e mandatory} alternative to the step just committed:
+    it is enqueued as a todo sibling at that node, like a coin branch —
+    not schedule-reducible — unless it is asleep there or already
+    explored.  Runners must call this for every enabled decision whose
+    effect the committed step silently absorbed, because an absorbed
+    decision never appears in any trace and an unobserved step can never
+    be raced by the backtracking pass.  The canonical client is
+    [Explore.iter_dpor] under a relaxed memory model: a fencing step
+    drains the issuing process's store buffer, absorbing the enabled
+    flush pseudo-decisions — without [also], "flush first, interleave
+    other processes, then fence" would be silently unexplored.  Call
+    after {!commit}, before the next {!choose}. *)
 
 val mark : 'k sched -> key:'k -> unit
 (** Optional state dedup (stateful DPOR), called after {!commit} with a

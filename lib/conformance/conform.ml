@@ -22,7 +22,7 @@ let mutant_killed c = match c.outcome with Killed _ | Not_applicable -> true | S
    fetch&increment (the one type every target implements) under the
    fault-free plan until the checker rejects a history.  A mutant that never
    fired cannot be killed and is reported not-applicable. *)
-let hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states () =
+let hunt_mutant ~construction ~mutant ?model ~n ~ops ~schedules ~seed ~max_states () =
   let mutated, fired = Mutate.wrap mutant construction in
   let ot =
     match Fuzz.find_type "fetch-inc" with Some ot -> ot | None -> assert false
@@ -34,13 +34,13 @@ let hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states () =
       let seed_i = seed + i in
       let r =
         Fuzz.run_once ~construction:mutated ~ot ~plan:Fault_plan.none ~n ~ops ~seed:seed_i
-          ~max_states ~scheduler:(Lb_runtime.Scheduler.random ~seed:seed_i) ()
+          ?model ~max_states ~scheduler:(Lb_runtime.Scheduler.random ~seed:seed_i) ()
       in
       match r.Fuzz.verdict with
       | Fuzz.Fail failure ->
         let cx =
           Fuzz.shrink_failure ~construction:mutated ~ot ~plan:Fault_plan.none ~n ~ops
-            ~seed:seed_i ~max_states r
+            ~seed:seed_i ?model ~max_states r
         in
         Killed { seed = seed_i; failure; minimized_len = List.length cx.Fuzz.minimized }
       | Fuzz.Pass | Fuzz.Degraded _ -> go (i + 1)
@@ -64,8 +64,8 @@ let hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states () =
    the fuzzer derives all randomness from the seed — and [Pool.map] is
    order-preserving, so reports are byte-identical at every job
    count. *)
-let mutation_matrix ?jobs ?(constructions = constructions) ?(mutants = Mutate.all) ~n ~ops
-    ~schedules ~seed ~max_states () =
+let mutation_matrix ?jobs ?(constructions = constructions) ?(mutants = Mutate.all) ?model
+    ~n ~ops ~schedules ~seed ~max_states () =
   let cells =
     List.concat_map
       (fun construction -> List.map (fun mutant -> (construction, mutant)) mutants)
@@ -73,11 +73,11 @@ let mutation_matrix ?jobs ?(constructions = constructions) ?(mutants = Mutate.al
   in
   Lb_exec.Pool.map ?jobs
     (fun (construction, mutant) ->
-      hunt_mutant ~construction ~mutant ~n ~ops ~schedules ~seed ~max_states ())
+      hunt_mutant ~construction ~mutant ?model ~n ~ops ~schedules ~seed ~max_states ())
     cells
 
 let fuzz_matrix ?jobs ?(constructions = constructions) ?(types = Fuzz.object_types)
-    ?(plans = [ ("none", Fault_plan.none) ]) ~n ~ops ~schedules ~seed ~max_states () =
+    ?(plans = [ ("none", Fault_plan.none) ]) ?model ~n ~ops ~schedules ~seed ~max_states () =
   let cells =
     List.concat_map
       (fun construction ->
@@ -90,7 +90,8 @@ let fuzz_matrix ?jobs ?(constructions = constructions) ?(types = Fuzz.object_typ
   in
   Lb_exec.Pool.map ?jobs
     (fun (construction, ot, (plan_name, plan)) ->
-      Fuzz.check_cell ~construction ~ot ~plan_name ~plan ~n ~ops ~schedules ~seed ~max_states ())
+      Fuzz.check_cell ~construction ~ot ~plan_name ~plan ?model ~n ~ops ~schedules ~seed
+        ~max_states ())
     cells
 
 type report = { cells : Fuzz.cell list; mutants : mutant_cell list }
@@ -143,6 +144,7 @@ let json_of_cell (c : Fuzz.cell) =
          ("construction", Str c.Fuzz.construction);
          ("object_type", Str c.Fuzz.object_type);
          ("plan", Str c.Fuzz.plan_name);
+         ("model", Str (Lb_memory.Memory_model.to_string c.Fuzz.model));
          ("n", Int c.Fuzz.n);
          ("ops", Int c.Fuzz.ops);
          ("runs", Int c.Fuzz.runs);

@@ -36,6 +36,7 @@ val mutant_killed : mutant_cell -> bool
 val hunt_mutant :
   construction:Iface.t ->
   mutant:Mutate.t ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   schedules:int ->
@@ -48,6 +49,7 @@ val mutation_matrix :
   ?jobs:int ->
   ?constructions:Iface.t list ->
   ?mutants:Mutate.t list ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   schedules:int ->
@@ -65,6 +67,7 @@ val fuzz_matrix :
   ?constructions:Iface.t list ->
   ?types:Fuzz.object_type list ->
   ?plans:(string * Fault_plan.t) list ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   schedules:int ->
@@ -73,7 +76,10 @@ val fuzz_matrix :
   unit ->
   Fuzz.cell list
 (** Cells a construction does not support (the direct target on anything
-    but fetch-inc) are skipped.  [jobs] as in {!mutation_matrix}. *)
+    but fetch-inc) are skipped.  [jobs] as in {!mutation_matrix}.  [model]
+    (default SC) runs every cell on a memory with that consistency model —
+    the constructions use only the fencing LL/SC repertoire, so conformance
+    must survive relaxation unchanged (asserted in EXPERIMENTS.md). *)
 
 type report = { cells : Fuzz.cell list; mutants : mutant_cell list }
 

@@ -14,6 +14,7 @@ type cert = {
   xc_construction : string;
   xc_object_type : string;
   xc_plan : string;
+  xc_model : Lb_memory.Memory_model.t;
   xc_n : int;
   xc_ops : int;
   xc_bounds : Sched_tree.bounds;
@@ -33,7 +34,7 @@ let cert_ok c = c.xc_counterexample = None
    history precedence — only shows in the harness metrics after the step
    executed.  So each decision commits late, when the next scheduling
    point (or the end of the run) reveals the boundary counters' delta. *)
-let run_schedule ~construction ~ot ~plan ~n ~ops ~seed ~max_states sched =
+let run_schedule ~construction ~ot ~plan ~model ~n ~ops ~seed ~max_states sched =
   let reg = Metrics.current () in
   let boundary () =
     Metrics.counter_value reg "harness.ops_completed"
@@ -66,15 +67,20 @@ let run_schedule ~construction ~ot ~plan ~n ~ops ~seed ~max_states sched =
     | None -> None
     | Some pid ->
       let regs =
-        match !pending_of pid with
-        | Some inv -> Sched_tree.footprint inv
-        | None -> []
+        (* A flush pseudo-pid (>= n, see {!Lb_universal.Harness}) writes
+           exactly its encoded register; process steps footprint their
+           pending invocation. *)
+        if pid >= n then [ (pid / n) - 1 ]
+        else
+          match !pending_of pid with
+          | Some inv -> Sched_tree.footprint inv
+          | None -> []
       in
       parked := Some (regs, boundary ());
       Some pid
   in
   let result, schedule =
-    Fuzz.execute ~construction ~ot ~plan ~n ~ops ~seed ~wrap_hooks ~scheduler ()
+    Fuzz.execute ~construction ~ot ~plan ~n ~ops ~seed ~model ~wrap_hooks ~scheduler ()
   in
   commit_parked ();
   if Sched_tree.interrupted sched then None
@@ -82,13 +88,14 @@ let run_schedule ~construction ~ot ~plan ~n ~ops ~seed ~max_states sched =
 
 let default_bounds = { Sched_tree.no_bounds with Sched_tree.preempt = Some 2 }
 
-let certify_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~seed
-    ?(bounds = default_bounds) ?(max_schedules = 200_000) ~max_states () =
+let certify_cell ~(construction : Iface.t) ~ot ~plan_name ~plan
+    ?(model = Lb_memory.Memory_model.SC) ~n ~ops ~seed ?(bounds = default_bounds)
+    ?(max_schedules = 200_000) ~max_states () =
   let degraded = ref 0 in
   let failed = ref None in
   let stats =
     Sched_tree.explore ~bounds ~max_schedules
-      ~run:(run_schedule ~construction ~ot ~plan ~n ~ops ~seed ~max_states)
+      ~run:(run_schedule ~construction ~ot ~plan ~model ~n ~ops ~seed ~max_states)
       ~f:(fun (r : Fuzz.run) ->
         match r.Fuzz.verdict with
         | Fuzz.Pass -> true
@@ -102,7 +109,7 @@ let certify_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~seed
   in
   let counterexample =
     Option.map
-      (fun r -> Fuzz.shrink_failure ~construction ~ot ~plan ~n ~ops ~seed ~max_states r)
+      (fun r -> Fuzz.shrink_failure ~construction ~ot ~plan ~n ~ops ~seed ~model ~max_states r)
       !failed
   in
   let reg = Metrics.current () in
@@ -114,6 +121,7 @@ let certify_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~seed
     xc_construction = construction.Iface.name;
     xc_object_type = ot.Fuzz.ot_name;
     xc_plan = plan_name;
+    xc_model = model;
     xc_n = n;
     xc_ops = ops;
     xc_bounds = bounds;
@@ -136,15 +144,15 @@ type mutant_cert = {
 let mutant_cert_killed m = m.xm_fired > 0 && not (cert_ok m.xm_cert)
 let mutant_cert_ok m = m.xm_fired = 0 || mutant_cert_killed m
 
-let certify_mutant ~(construction : Iface.t) ~mutant ~n ~ops ~seed ?bounds ?max_schedules
-    ~max_states () =
+let certify_mutant ~(construction : Iface.t) ~mutant ?model ~n ~ops ~seed ?bounds
+    ?max_schedules ~max_states () =
   let mutated, fired = Mutate.wrap mutant construction in
   let ot =
     match Fuzz.find_type "fetch-inc" with Some ot -> ot | None -> assert false
   in
   let cert =
-    certify_cell ~construction:mutated ~ot ~plan_name:"none" ~plan:Fault_plan.none ~n ~ops
-      ~seed ?bounds ?max_schedules ~max_states ()
+    certify_cell ~construction:mutated ~ot ~plan_name:"none" ~plan:Fault_plan.none ?model
+      ~n ~ops ~seed ?bounds ?max_schedules ~max_states ()
   in
   let reg = Metrics.current () in
   Metrics.incr reg
@@ -165,7 +173,7 @@ type report = { certs : cert list; mutants : mutant_cert list }
 let ok r = List.for_all cert_ok r.certs && List.for_all mutant_cert_ok r.mutants
 
 let matrix ?jobs ?(constructions = Targets.all) ?(types = Fuzz.object_types)
-    ?(plans = [ ("none", Fault_plan.none) ]) ~n ~ops ~seed ?bounds ?max_schedules
+    ?(plans = [ ("none", Fault_plan.none) ]) ?model ~n ~ops ~seed ?bounds ?max_schedules
     ~max_states () =
   let cells =
     List.concat_map
@@ -179,12 +187,12 @@ let matrix ?jobs ?(constructions = Targets.all) ?(types = Fuzz.object_types)
   in
   Lb_exec.Pool.map ?jobs
     (fun (construction, ot, (plan_name, plan)) ->
-      certify_cell ~construction ~ot ~plan_name ~plan ~n ~ops ~seed ?bounds ?max_schedules
-        ~max_states ())
+      certify_cell ~construction ~ot ~plan_name ~plan ?model ~n ~ops ~seed ?bounds
+        ?max_schedules ~max_states ())
     cells
 
-let mutant_matrix ?jobs ?(constructions = Targets.all) ?(mutants = Mutate.all) ~n ~ops
-    ~seed ?bounds ?max_schedules ~max_states () =
+let mutant_matrix ?jobs ?(constructions = Targets.all) ?(mutants = Mutate.all) ?model ~n
+    ~ops ~seed ?bounds ?max_schedules ~max_states () =
   let cells =
     List.concat_map
       (fun construction -> List.map (fun mutant -> (construction, mutant)) mutants)
@@ -192,14 +200,17 @@ let mutant_matrix ?jobs ?(constructions = Targets.all) ?(mutants = Mutate.all) ~
   in
   Lb_exec.Pool.map ?jobs
     (fun (construction, mutant) ->
-      certify_mutant ~construction ~mutant ~n ~ops ~seed ?bounds ?max_schedules ~max_states
-        ())
+      certify_mutant ~construction ~mutant ?model ~n ~ops ~seed ?bounds ?max_schedules
+        ~max_states ())
     cells
 
 let pp_cert ppf c =
-  Format.fprintf ppf "%-15s | %-12s | %-13s | %a under %a%s%s" c.xc_construction
+  Format.fprintf ppf "%-15s | %-12s | %-13s | %a under %a%s%s%s" c.xc_construction
     c.xc_object_type c.xc_plan Sched_tree.pp_stats c.xc_stats Sched_tree.pp_bounds
     c.xc_bounds
+    (if Lb_memory.Memory_model.relaxed c.xc_model then
+       Printf.sprintf " [%s]" (Lb_memory.Memory_model.to_string c.xc_model)
+     else "")
     (if c.xc_degraded > 0 then Printf.sprintf " (%d degraded)" c.xc_degraded else "")
     (match c.xc_counterexample with
     | None -> ""
@@ -262,6 +273,7 @@ let json_of_cert c =
          ("construction", Str c.xc_construction);
          ("object_type", Str c.xc_object_type);
          ("plan", Str c.xc_plan);
+         ("model", Str (Lb_memory.Memory_model.to_string c.xc_model));
          ("n", Int c.xc_n);
          ("ops", Int c.xc_ops);
          ("bounds", json_of_bounds c.xc_bounds);

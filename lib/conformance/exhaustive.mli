@@ -34,6 +34,7 @@ type cert = {
   xc_construction : string;
   xc_object_type : string;
   xc_plan : string;
+  xc_model : Lb_memory.Memory_model.t;
   xc_n : int;
   xc_ops : int;
   xc_bounds : Lb_check.Sched_tree.bounds;
@@ -55,6 +56,7 @@ val certify_cell :
   ot:Fuzz.object_type ->
   plan_name:string ->
   plan:Fault_plan.t ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   seed:int ->
@@ -66,7 +68,11 @@ val certify_cell :
 (** Walk every in-bound schedule of one cell (stopping at the first
     failure, which is then shrunk).  [seed] fixes the workload; the walk
     itself is deterministic.  [max_schedules] (default 200_000) raises
-    {!Lb_check.Sched_tree.Schedule_limit} when exceeded. *)
+    {!Lb_check.Sched_tree.Schedule_limit} when exceeded.  [model] (default
+    SC) runs the cell on a relaxed memory: flush pseudo-pids enter the
+    DPOR alphabet with their encoded register as footprint, and since the
+    constructions use only the fencing LL/SC repertoire, certificates must
+    match SC exactly. *)
 
 (** {1 Mutation certification} *)
 
@@ -84,6 +90,7 @@ val mutant_cert_ok : mutant_cert -> bool
 val certify_mutant :
   construction:Iface.t ->
   mutant:Mutate.t ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   seed:int ->
@@ -107,6 +114,7 @@ val matrix :
   ?constructions:Iface.t list ->
   ?types:Fuzz.object_type list ->
   ?plans:(string * Fault_plan.t) list ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   seed:int ->
@@ -123,6 +131,7 @@ val mutant_matrix :
   ?jobs:int ->
   ?constructions:Iface.t list ->
   ?mutants:Mutate.t list ->
+  ?model:Lb_memory.Memory_model.t ->
   n:int ->
   ops:int ->
   seed:int ->

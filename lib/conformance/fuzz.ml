@@ -162,13 +162,13 @@ let pp_verdict ppf = function
    exhaustive checker taps [filter] to see each process's pending shared
    operation).  Fully deterministic in (construction, ot, plan, n, ops,
    seed, scheduler). *)
-let execute ~(construction : Iface.t) ~ot ~plan ~n ~ops ~seed ?(wrap_hooks = Fun.id)
-    ~scheduler () =
+let execute ~(construction : Iface.t) ~ot ~plan ~n ~ops ~seed
+    ?(model = Memory_model.SC) ?(wrap_hooks = Fun.id) ~scheduler () =
   let spec = ot.spec_of ~n in
   let engine = Fault_engine.instantiate ~seed plan in
   let layout = Layout.create () in
   let handle = construction.Iface.create layout ~n spec in
-  let memory = Memory.create () in
+  let memory = Memory.create ~model () in
   Layout.install layout memory;
   Fault_engine.arm engine memory;
   let bound = construction.Iface.worst_case ~n in
@@ -271,8 +271,10 @@ let assess ~(construction : Iface.t) ~ot ~plan ~n ~ops ~max_states ~schedule res
       | Linearize.Budget_exhausted { budget; _ } ->
         finish (Fail (Check_budget { states = budget })) budget)
 
-let run_once ~construction ~ot ~plan ~n ~ops ~seed ~max_states ~scheduler () =
-  let result, schedule = execute ~construction ~ot ~plan ~n ~ops ~seed ~scheduler () in
+let run_once ~construction ~ot ~plan ~n ~ops ~seed ?model ~max_states ~scheduler () =
+  let result, schedule =
+    execute ~construction ~ot ~plan ~n ~ops ~seed ?model ~scheduler ()
+  in
   assess ~construction ~ot ~plan ~n ~ops ~max_states ~schedule result
 
 (* Both fuzz schedulers are leaves of the {!Lb_check.Sched_tree} oracle:
@@ -286,8 +288,8 @@ let tree_scheduler sched ~step ~runnable =
    always about a completed run.  Deterministic. *)
 let replay_scheduler entries = tree_scheduler (Lb_check.Sched_tree.replayer entries)
 
-let replay ~construction ~ot ~plan ~n ~ops ~seed ~max_states schedule =
-  run_once ~construction ~ot ~plan ~n ~ops ~seed ~max_states
+let replay ~construction ~ot ~plan ~n ~ops ~seed ?model ~max_states schedule =
+  run_once ~construction ~ot ~plan ~n ~ops ~seed ?model ~max_states
     ~scheduler:(replay_scheduler schedule) ()
 
 type counterexample = {
@@ -303,6 +305,7 @@ type cell = {
   construction : string;
   object_type : string;
   plan_name : string;
+  model : Memory_model.t;
   n : int;
   ops : int;
   budget : int;  (** schedules requested. *)
@@ -312,9 +315,9 @@ type cell = {
   counterexample : counterexample option;
 }
 
-let shrink_failure ~construction ~ot ~plan ~n ~ops ~seed ~max_states (failed : run) =
+let shrink_failure ~construction ~ot ~plan ~n ~ops ~seed ?model ~max_states (failed : run) =
   let verdict_of schedule =
-    (replay ~construction ~ot ~plan ~n ~ops ~seed ~max_states schedule).verdict
+    (replay ~construction ~ot ~plan ~n ~ops ~seed ?model ~max_states schedule).verdict
   in
   let test schedule = same_class (verdict_of schedule) failed.verdict in
   let minimized = Shrink.minimize ~test failed.schedule in
@@ -331,8 +334,8 @@ let shrink_failure ~construction ~ot ~plan ~n ~ops ~seed ~max_states (failed : r
     deterministic = same_class v1 v2 && v1 = v2;
   }
 
-let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~schedules ~seed
-    ~max_states () =
+let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan
+    ?(model = Memory_model.SC) ~n ~ops ~schedules ~seed ~max_states () =
   let passed = ref 0 and degraded = ref 0 in
   let rec go i =
     if i >= schedules then
@@ -340,6 +343,7 @@ let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~schedules
         construction = construction.Iface.name;
         object_type = ot.ot_name;
         plan_name;
+        model;
         n;
         ops;
         budget = schedules;
@@ -351,7 +355,7 @@ let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~schedules
     else
       let seed_i = seed + i in
       let r =
-        run_once ~construction ~ot ~plan ~n ~ops ~seed:seed_i ~max_states
+        run_once ~construction ~ot ~plan ~n ~ops ~seed:seed_i ~model ~max_states
           ~scheduler:(tree_scheduler (Lb_check.Sched_tree.sampler ~seed:seed_i)) ()
       in
       match r.verdict with
@@ -363,12 +367,13 @@ let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~schedules
         go (i + 1)
       | Fail _ ->
         let cx =
-          shrink_failure ~construction ~ot ~plan ~n ~ops ~seed:seed_i ~max_states r
+          shrink_failure ~construction ~ot ~plan ~n ~ops ~seed:seed_i ~model ~max_states r
         in
         {
           construction = construction.Iface.name;
           object_type = ot.ot_name;
           plan_name;
+          model;
           n;
           ops;
           budget = schedules;
@@ -383,8 +388,11 @@ let check_cell ~(construction : Iface.t) ~ot ~plan_name ~plan ~n ~ops ~schedules
 let cell_ok c = c.counterexample = None
 
 let pp_cell ppf c =
-  Format.fprintf ppf "%-15s | %-12s | %-13s | %4d/%d ok (%d degraded)%s" c.construction
+  Format.fprintf ppf "%-15s | %-12s | %-13s | %4d/%d ok (%d degraded)%s%s" c.construction
     c.object_type c.plan_name c.passed c.runs c.degraded
+    (if Memory_model.relaxed c.model then
+       Printf.sprintf " [%s]" (Memory_model.to_string c.model)
+     else "")
     (match c.counterexample with
     | None -> ""
     | Some cx ->

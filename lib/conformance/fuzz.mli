@@ -69,15 +69,18 @@ val execute :
   n:int ->
   ops:int ->
   seed:int ->
+  ?model:Memory_model.t ->
   ?wrap_hooks:(Harness.fault_hooks -> Harness.fault_hooks) ->
   scheduler:Scheduler.choice ->
   unit ->
   Harness.result * int list
 (** Drive one execution (construction and fault engine instantiated on a
-    fresh memory) and return the harness result plus the recorded
-    schedule.  [wrap_hooks] interposes on the fault hooks — the exhaustive
-    checker taps [filter] to read each process's pending shared operation
-    for its dependency footprints. *)
+    fresh memory running [model], default SC) and return the harness result
+    plus the recorded schedule.  Under a relaxed model the schedule may
+    contain flush pseudo-pids (see {!Harness.run_handle}); the recorded log
+    replays them like any other choice.  [wrap_hooks] interposes on the
+    fault hooks — the exhaustive checker taps [filter] to read each
+    process's pending shared operation for its dependency footprints. *)
 
 val assess :
   construction:Iface.t ->
@@ -101,6 +104,7 @@ val run_once :
   n:int ->
   ops:int ->
   seed:int ->
+  ?model:Memory_model.t ->
   max_states:int ->
   scheduler:Scheduler.choice ->
   unit ->
@@ -119,6 +123,7 @@ val replay :
   n:int ->
   ops:int ->
   seed:int ->
+  ?model:Memory_model.t ->
   max_states:int ->
   int list ->
   run
@@ -141,6 +146,7 @@ val shrink_failure :
   n:int ->
   ops:int ->
   seed:int ->
+  ?model:Memory_model.t ->
   max_states:int ->
   run ->
   counterexample
@@ -152,6 +158,7 @@ type cell = {
   construction : string;
   object_type : string;
   plan_name : string;
+  model : Memory_model.t;
   n : int;
   ops : int;
   budget : int;
@@ -166,6 +173,7 @@ val check_cell :
   ot:object_type ->
   plan_name:string ->
   plan:Fault_plan.t ->
+  ?model:Memory_model.t ->
   n:int ->
   ops:int ->
   schedules:int ->

@@ -56,6 +56,7 @@ module Ids = Lb_memory.Ids
 module Op = Lb_memory.Op
 module Register = Lb_memory.Register
 module Memory = Lb_memory.Memory
+module Memory_model = Lb_memory.Memory_model
 module Layout = Lb_memory.Layout
 module Profile = Lb_memory.Profile
 
@@ -103,6 +104,7 @@ module Complexity = Lb_universal.Complexity
 module Pure_memory = Lb_check.Pure_memory
 module Explore = Lb_check.Explore
 module Sched_tree = Lb_check.Sched_tree
+module Litmus = Lb_check.Litmus
 
 (* Extensions (Section 7) *)
 module Rmw = Lb_extensions.Rmw

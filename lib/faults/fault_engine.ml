@@ -91,7 +91,8 @@ let arm t memory =
              Memory.Fail_sc
            end
            else Memory.Proceed
-         | Op.Ll _ | Op.Validate _ | Op.Swap _ | Op.Move _ -> Memory.Proceed))
+         | Op.Ll _ | Op.Validate _ | Op.Swap _ | Op.Move _ | Op.Write _ | Op.Fence ->
+           Memory.Proceed))
 
 let taken t pid = Option.value ~default:0 (Hashtbl.find_opt t.steps pid)
 

@@ -140,6 +140,16 @@ let apply t ~pid (inv : Op.invocation) : Op.response =
       ignore (Atomic.exchange a { tag = cur.tag + 1; v = sv });
       links.(dst) <- None;
       Op.Ack
+    | Op.Write (r, v) ->
+      (* The native backend runs on real hardware: plain stores are applied
+         immediately (OCaml atomics are SC), so it models only the SC member
+         of the {!Memory_model} axis. *)
+      let a = reg t r in
+      let cur = Atomic.get a in
+      ignore (Atomic.exchange a { tag = cur.tag + 1; v });
+      links.(r) <- None;
+      Op.Ack
+    | Op.Fence -> Op.Ack
   in
   let slot = pid * count_stride in
   Array.unsafe_set t.counts slot (Array.unsafe_get t.counts slot + 1);

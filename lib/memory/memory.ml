@@ -36,9 +36,15 @@ type t = {
   mutable log : event list; (* newest first *)
   mutable interposer : interposer option;
   mutable tap : tap option;
+  model : Memory_model.t;
+  (* Per-process store buffers, oldest entry first.  Issue order is recorded
+     for both relaxed models; TSO flushes strictly from the head, PSO may
+     flush the oldest entry of any register (per-register FIFO).  Empty and
+     untouched under SC. *)
+  buffers : (int, (int * Value.t) list) Hashtbl.t;
 }
 
-let create ?(default = Value.Unit) ?(log = false) () =
+let create ?(default = Value.Unit) ?(log = false) ?(model = Memory_model.SC) () =
   {
     regs = Array.make 64 None;
     sparse_regs = Hashtbl.create 4;
@@ -49,7 +55,11 @@ let create ?(default = Value.Unit) ?(log = false) () =
     log = [];
     interposer = None;
     tap = None;
+    model;
+    buffers = Hashtbl.create 4;
   }
+
+let model m = m.model
 
 let set_interposer m i = m.interposer <- i
 let set_tap m tap = m.tap <- tap
@@ -85,6 +95,79 @@ let register m r =
 
 let set_init m r v = Register.write (register m r) v
 
+(* ---- store buffers (TSO / PSO) ---- *)
+
+let buffer m pid = Option.value ~default:[] (Hashtbl.find_opt m.buffers pid)
+
+let set_buffer m pid entries =
+  if entries = [] then Hashtbl.remove m.buffers pid else Hashtbl.replace m.buffers pid entries
+
+(* The owner's view of a register: its newest buffered write, else shared
+   memory.  Other processes never consult the buffer. *)
+let buffered_value m ~pid r =
+  List.fold_left
+    (fun acc (r', v) -> if r' = r then Some v else acc)
+    None (buffer m pid)
+
+let apply_store m (r, v) = Register.write (register m r) v
+
+(* Drain [pid]'s whole buffer in issue order — the fence semantics of
+   LL/SC/swap/move/fence.  Issue order respects each register's FIFO, so it
+   is a legal flush order under both TSO and PSO. *)
+let drain m ~pid =
+  List.iter (apply_store m) (buffer m pid);
+  Hashtbl.remove m.buffers pid
+
+let flushable m =
+  match m.model with
+  | Memory_model.SC -> []
+  | Memory_model.TSO ->
+    Hashtbl.fold
+      (fun pid entries acc ->
+        match entries with [] -> acc | (r, _) :: _ -> (pid, r) :: acc)
+      m.buffers []
+    |> List.sort compare
+  | Memory_model.PSO ->
+    (* One choice per (pid, register) with a pending write: the oldest entry
+       of that register's FIFO. *)
+    Hashtbl.fold
+      (fun pid entries acc ->
+        let regs = List.sort_uniq Int.compare (List.map fst entries) in
+        List.map (fun r -> (pid, r)) regs @ acc)
+      m.buffers []
+    |> List.sort compare
+
+let flush m ~pid ~reg =
+  let entries = buffer m pid in
+  match m.model with
+  | Memory_model.SC -> invalid_arg "Memory.flush: no store buffers under SC"
+  | Memory_model.TSO -> (
+    match entries with
+    | (r, v) :: rest when r = reg ->
+      apply_store m (r, v);
+      set_buffer m pid rest
+    | (r, _) :: _ ->
+      invalid_arg (Printf.sprintf "Memory.flush: TSO head of p%d's buffer is R%d, not R%d" pid r reg)
+    | [] -> invalid_arg (Printf.sprintf "Memory.flush: p%d's buffer is empty" pid))
+  | Memory_model.PSO ->
+    (* Remove and apply the oldest entry for [reg]; entries for other
+       registers keep their relative order. *)
+    let rec remove_first acc = function
+      | [] -> invalid_arg (Printf.sprintf "Memory.flush: p%d has no buffered write to R%d" pid reg)
+      | (r, v) :: rest when r = reg ->
+        apply_store m (r, v);
+        List.rev_append acc rest
+      | entry :: rest -> remove_first (entry :: acc) rest
+    in
+    set_buffer m pid (remove_first [] entries)
+
+let buffers m =
+  Hashtbl.fold (fun pid entries acc -> (pid, entries) :: acc) m.buffers []
+  |> List.filter (fun (_, entries) -> entries <> [])
+  |> List.sort compare
+
+let buffered_regs m ~pid = List.sort_uniq Int.compare (List.map fst (buffer m pid))
+
 let count m pid =
   if pid < 0 then invalid_arg (Printf.sprintf "Memory: negative process id %d" pid);
   m.total <- m.total + 1;
@@ -95,13 +178,21 @@ let apply m ~pid invocation =
   let directive =
     match m.interposer with None -> Proceed | Some f -> f ~pid invocation
   in
+  let relaxed = Memory_model.relaxed m.model in
+  (* LL/SC/swap/move are fences: they drain the issuing process's buffer
+     before taking effect, so the synchronisation repertoire always acts on
+     globally visible state.  [Validate] is the plain (buffer-first) read
+     and [Write] the plain (buffered) store. *)
+  let fence () = if relaxed then drain m ~pid in
   let response =
     match invocation with
     | Op.Ll r ->
+      fence ();
       let reg = register m r in
       Register.link reg pid;
       Op.Value (Register.value reg)
     | Op.Sc (r, v) ->
+      fence ();
       let reg = register m r in
       let old = Register.value reg in
       (match directive with
@@ -118,16 +209,32 @@ let apply m ~pid invocation =
         else Op.Flagged (false, old))
     | Op.Validate r ->
       let reg = register m r in
-      Op.Flagged (Register.linked reg pid, Register.value reg)
+      let v =
+        if relaxed then
+          match buffered_value m ~pid r with
+          | Some v -> v
+          | None -> Register.value reg
+        else Register.value reg
+      in
+      Op.Flagged (Register.linked reg pid, v)
     | Op.Swap (r, v) ->
+      fence ();
       let reg = register m r in
       let old = Register.value reg in
       Register.write reg v;
       Op.Value old
     | Op.Move (src, dst) ->
       if src = dst then raise (Self_move { pid; reg = src });
+      fence ();
       let sv = Register.value (register m src) in
       Register.write (register m dst) sv;
+      Op.Ack
+    | Op.Write (r, v) ->
+      if relaxed then set_buffer m pid (buffer m pid @ [ (r, v) ])
+      else apply_store m (r, v);
+      Op.Ack
+    | Op.Fence ->
+      fence ();
       Op.Ack
   in
   count m pid;

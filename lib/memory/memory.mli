@@ -66,10 +66,13 @@ type tap = pid:int -> Op.invocation -> Op.response -> spurious:bool -> unit
 val set_tap : t -> tap option -> unit
 (** Install (or with [None] remove) the tap. *)
 
-val create : ?default:Value.t -> ?log:bool -> unit -> t
+val create : ?default:Value.t -> ?log:bool -> ?model:Memory_model.t -> unit -> t
 (** Fresh memory.  Registers that have never been written read as [default]
     (default [Value.Unit]).  When [log] is true (default false) every applied
-    operation is recorded in order. *)
+    operation is recorded in order.  [model] (default {!Memory_model.SC})
+    selects the consistency model; see {!section-buffers}. *)
+
+val model : t -> Memory_model.t
 
 val set_init : t -> int -> Value.t -> unit
 (** [set_init m r v] initialises register [r] to [v] without counting an
@@ -78,7 +81,49 @@ val set_init : t -> int -> Value.t -> unit
 
 val apply : t -> pid:int -> Op.invocation -> Op.response
 (** Apply one operation on behalf of process [pid], count it, and return the
-    response. *)
+    response.
+
+    Under a relaxed model ({!Memory_model.relaxed}): [Write] enters [pid]'s
+    store buffer instead of memory; [Fence], [Ll], [Sc], [Swap] and [Move]
+    first drain [pid]'s buffer (they are fences); [Validate] reads [pid]'s
+    newest buffered write to the register if one exists, shared memory
+    otherwise (the link flag always comes from the shared Pset).  Under SC
+    every operation applies immediately. *)
+
+(** {1:buffers Store buffers (TSO / PSO)}
+
+    Buffered writes become visible to other processes only when {e flushed} —
+    a scheduler-visible step distinct from any process's program step.  The
+    scheduler asks {!flushable} what flush actions exist and performs one
+    with {!flush}.  Under TSO each process's buffer is a single FIFO, so at
+    most one flush per process is enabled (its head); under PSO the buffer is
+    a FIFO per register, so one flush per (process, register) pair with a
+    pending write is enabled.  Flushing applies {!Register.write} — the value
+    lands and the register's Pset is cleared, exactly as an immediate write
+    would. *)
+
+val flushable : t -> (int * int) list
+(** Enabled flush actions as sorted [(pid, reg)] pairs.  Always [[]] under
+    SC.  Under TSO, the head register of each non-empty buffer; under PSO,
+    each register with a pending write, per process. *)
+
+val flush : t -> pid:int -> reg:int -> unit
+(** Apply the oldest buffered write by [pid] to [reg] and remove it from the
+    buffer.  Raises [Invalid_argument] under SC, when no such write is
+    pending, or (TSO) when [reg] is not the buffer's head — i.e. whenever
+    [(pid, reg)] is not in {!flushable}. *)
+
+val drain : t -> pid:int -> unit
+(** Apply [pid]'s whole buffer in issue order and empty it — the fence
+    effect, without counting an operation.  A no-op when the buffer is empty
+    (in particular under SC). *)
+
+val buffers : t -> (int * (int * Value.t) list) list
+(** Non-empty store buffers as sorted [(pid, entries)] pairs, entries in
+    issue order (oldest first).  [[]] under SC. *)
+
+val buffered_regs : t -> pid:int -> int list
+(** Sorted registers with a pending buffered write by [pid]. *)
 
 (** {1 Observer access} — none of these count as shared-memory operations;
     they exist for schedulers, run records and tests. *)

@@ -1,0 +1,18 @@
+type t = SC | TSO | PSO
+
+let all = [ SC; TSO; PSO ]
+let relaxed = function SC -> false | TSO | PSO -> true
+
+let rank = function SC -> 0 | TSO -> 1 | PSO -> 2
+let weaker_or_equal a b = rank a <= rank b
+
+let to_string = function SC -> "sc" | TSO -> "tso" | PSO -> "pso"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "sc" -> Ok SC
+  | "tso" -> Ok TSO
+  | "pso" -> Ok PSO
+  | other -> Error (Printf.sprintf "unknown memory model %S (sc, tso, pso)" other)
+
+let pp ppf m = Format.pp_print_string ppf (String.uppercase_ascii (to_string m))

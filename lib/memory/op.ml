@@ -4,31 +4,39 @@ type invocation =
   | Validate of int
   | Swap of int * Value.t
   | Move of int * int
+  | Write of int * Value.t
+  | Fence
 
 type response = Value of Value.t | Flagged of bool * Value.t | Ack
 
-type kind = Read | Move_kind | Swap_kind | Sc_kind
+type kind = Read | Move_kind | Swap_kind | Sc_kind | Write_kind | Fence_kind
 
 let kind = function
   | Ll _ | Validate _ -> Read
   | Move _ -> Move_kind
   | Swap _ -> Swap_kind
   | Sc _ -> Sc_kind
+  | Write _ -> Write_kind
+  | Fence -> Fence_kind
 
 let registers = function
-  | Ll r | Validate r | Sc (r, _) | Swap (r, _) -> [ r ]
+  | Ll r | Validate r | Sc (r, _) | Swap (r, _) | Write (r, _) -> [ r ]
   | Move (src, dst) -> [ src; dst ]
+  | Fence -> []
 
 let target = function
-  | Ll r | Validate r | Sc (r, _) | Swap (r, _) -> r
+  | Ll r | Validate r | Sc (r, _) | Swap (r, _) | Write (r, _) -> r
   | Move (_, dst) -> dst
+  | Fence -> invalid_arg "Op.target: Fence names no register"
 
 let equal_invocation a b =
   match a, b with
   | Ll r, Ll r' | Validate r, Validate r' -> r = r'
-  | Sc (r, v), Sc (r', v') | Swap (r, v), Swap (r', v') -> r = r' && Value.equal v v'
+  | Sc (r, v), Sc (r', v') | Swap (r, v), Swap (r', v') | Write (r, v), Write (r', v') ->
+    r = r' && Value.equal v v'
   | Move (s, d), Move (s', d') -> s = s' && d = d'
-  | (Ll _ | Sc _ | Validate _ | Swap _ | Move _), _ -> false
+  | Fence, Fence -> true
+  | (Ll _ | Sc _ | Validate _ | Swap _ | Move _ | Write _ | Fence), _ -> false
 
 let equal_response a b =
   match a, b with
@@ -43,6 +51,8 @@ let pp_invocation ppf = function
   | Validate r -> Format.fprintf ppf "validate(R%d)" r
   | Swap (r, v) -> Format.fprintf ppf "swap(R%d, %a)" r Value.pp v
   | Move (src, dst) -> Format.fprintf ppf "move(R%d, R%d)" src dst
+  | Write (r, v) -> Format.fprintf ppf "write(R%d, %a)" r Value.pp v
+  | Fence -> Format.pp_print_string ppf "fence"
 
 let pp_response ppf = function
   | Value v -> Value.pp ppf v
@@ -55,7 +65,9 @@ let pp_kind ppf k =
     | Read -> "LL/validate"
     | Move_kind -> "move"
     | Swap_kind -> "swap"
-    | Sc_kind -> "SC")
+    | Sc_kind -> "SC"
+    | Write_kind -> "write"
+    | Fence_kind -> "fence")
 
 let value_of = function
   | Value v | Flagged (_, v) -> v

@@ -4,7 +4,13 @@
     validate, swap and (register-to-register) move.  The paper strengthens
     the usual definitions: SC and validate return the register's previous /
     current value alongside the boolean, and swap returns the previous value.
-    There is no separate read — [validate] subsumes it. *)
+    There is no separate read — [validate] subsumes it.
+
+    Two further operations exist for the weak-memory scenario axis
+    ({!Memory_model}): a plain store [Write] — the only operation that is
+    {e relaxable}, i.e. buffered rather than applied under TSO/PSO — and an
+    explicit [Fence].  Under SC both behave as ordinary immediate operations,
+    so programs that never run under a relaxed model can ignore them. *)
 
 type invocation =
   | Ll of int  (** [Ll r]: link-load register [r]. *)
@@ -13,6 +19,12 @@ type invocation =
   | Swap of int * Value.t  (** [Swap (r, v)]: write [v], return old value. *)
   | Move of int * int
       (** [Move (src, dst)]: copy [value src] into [dst]; [src] unchanged. *)
+  | Write of int * Value.t
+      (** [Write (r, v)]: plain store of [v] into [r] (clears the Pset, like
+          every write-class operation).  Under a relaxed model the store
+          enters the issuing process's buffer instead of memory. *)
+  | Fence
+      (** Drain the issuing process's store buffer; a no-op under SC. *)
 
 type response =
   | Value of Value.t  (** Response of LL and swap. *)
@@ -21,18 +33,20 @@ type response =
 
 (** Adversary phase classification (Figure 2 partitions pending operations
     into the LL/validate group, the move group, the swap group and the SC
-    group). *)
-type kind = Read | Move_kind | Swap_kind | Sc_kind
+    group).  [Write_kind] and [Fence_kind] classify the weak-memory
+    extensions; the paper's round adversary never encounters them. *)
+type kind = Read | Move_kind | Swap_kind | Sc_kind | Write_kind | Fence_kind
 
 val kind : invocation -> kind
 
 val registers : invocation -> int list
 (** Registers named by the invocation ([Move] names two, in (src, dst)
-    order). *)
+    order; [Fence] names none). *)
 
 val target : invocation -> int
 (** The register whose state the operation can change (for [Move] this is the
-    destination; for [Ll]/[Validate] the named register). *)
+    destination; for [Ll]/[Validate] the named register).  Raises
+    [Invalid_argument] for [Fence], which names no register. *)
 
 val equal_invocation : invocation -> invocation -> bool
 val equal_response : response -> response -> bool

@@ -6,6 +6,7 @@ type register_stats = {
   sc_fail : int;
   validates : int;
   swaps : int;
+  writes : int;
   moves_in : int;
   moves_out : int;
 }
@@ -28,6 +29,7 @@ let empty_stats reg =
     sc_fail = 0;
     validates = 0;
     swaps = 0;
+    writes = 0;
     moves_in = 0;
     moves_out = 0;
   }
@@ -58,6 +60,8 @@ let of_events events =
         if ok then update r (fun s -> { s with sc_success = s.sc_success + 1 })
         else update r (fun s -> { s with sc_fail = s.sc_fail + 1 })
       | Op.Sc _, (Op.Value _ | Op.Ack) -> assert false
+      | Op.Write (r, _), _ -> update r (fun s -> { s with writes = s.writes + 1 })
+      | Op.Fence, _ -> ()
       | Op.Move (src, dst), _ ->
         update src (fun s -> { s with moves_out = s.moves_out + 1 });
         (* The destination write is part of the same operation; count the
@@ -74,7 +78,7 @@ let of_events events =
     per_kind =
       List.map
         (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt kind_counts k)))
-        [ Op.Read; Op.Move_kind; Op.Swap_kind; Op.Sc_kind ];
+        [ Op.Read; Op.Move_kind; Op.Swap_kind; Op.Sc_kind; Op.Write_kind; Op.Fence_kind ];
     sc_success_rate =
       (if !sc_total = 0 then 1.0 else float_of_int !sc_ok /. float_of_int !sc_total);
     registers;
@@ -96,9 +100,9 @@ let pp ppf t =
     (fun i s ->
       if i < 8 then
         Format.fprintf ppf
-          "@   R%-4d %5d accesses (LL %d, SC ok %d / fail %d, val %d, swap %d, moves in %d / \
-           out %d)"
-          s.reg s.accesses s.ll s.sc_success s.sc_fail s.validates s.swaps s.moves_in
-          s.moves_out)
+          "@   R%-4d %5d accesses (LL %d, SC ok %d / fail %d, val %d, swap %d, write %d, \
+           moves in %d / out %d)"
+          s.reg s.accesses s.ll s.sc_success s.sc_fail s.validates s.swaps s.writes
+          s.moves_in s.moves_out)
     t.registers;
   Format.fprintf ppf "@]"

@@ -16,13 +16,14 @@ type register_stats = {
   sc_fail : int;
   validates : int;
   swaps : int;
+  writes : int;
   moves_in : int;
   moves_out : int;
 }
 
 type t = {
   total : int;
-  per_kind : (Op.kind * int) list;  (** all four kinds, fixed order. *)
+  per_kind : (Op.kind * int) list;  (** every kind, fixed order. *)
   sc_success_rate : float;  (** successful SCs / all SCs; 1.0 if no SC. *)
   registers : register_stats list;  (** sorted by [accesses], descending. *)
   hottest : int option;  (** register with the most accesses. *)

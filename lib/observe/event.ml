@@ -140,6 +140,9 @@ let json_of_invocation : Op.invocation -> Json.t = function
     Json.Obj [ ("op", Json.Str "swap"); ("reg", Json.Int r); ("value", json_of_value v) ]
   | Op.Move (src, dst) ->
     Json.Obj [ ("op", Json.Str "move"); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Op.Write (r, v) ->
+    Json.Obj [ ("op", Json.Str "write"); ("reg", Json.Int r); ("value", json_of_value v) ]
+  | Op.Fence -> Json.Obj [ ("op", Json.Str "fence") ]
 
 let invocation_of_json j =
   let ( let* ) = Result.bind in
@@ -172,6 +175,11 @@ let invocation_of_json j =
     let* src = int_field "src" in
     let* dst = int_field "dst" in
     Ok (Op.Move (src, dst))
+  | Some "write" ->
+    let* r = int_field "reg" in
+    let* v = value_field "value" in
+    Ok (Op.Write (r, v))
+  | Some "fence" -> Ok Op.Fence
   | Some other -> Error (Printf.sprintf "invocation: unknown op %S" other)
   | None -> Error "invocation: missing op tag"
 

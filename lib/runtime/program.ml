@@ -69,6 +69,20 @@ let move ~src ~dst =
       | Op.Ack -> Return ()
       | Op.Value _ | Op.Flagged _ -> assert false )
 
+let write r v =
+  Op
+    ( Op.Write (r, v),
+      function
+      | Op.Ack -> Return ()
+      | Op.Value _ | Op.Flagged _ -> assert false )
+
+let fence =
+  Op
+    ( Op.Fence,
+      function
+      | Op.Ack -> Return ()
+      | Op.Value _ | Op.Flagged _ -> assert false )
+
 let toss = Toss (fun o -> Return o)
 
 let toss_bounded b =

@@ -55,6 +55,16 @@ val move : src:int -> dst:int -> unit t
 (** Raises [Invalid_argument] if [src = dst]: the model's move operates on
     two distinct registers (see {!Lb_secretive.Move_spec.of_list}). *)
 
+val write : int -> Value.t -> unit t
+(** [write r v]: a plain store — the only operation the relaxed memory
+    models buffer ({!Lb_memory.Memory_model}).  Under SC it applies
+    immediately, like every other write-class operation. *)
+
+val fence : unit t
+(** Drain this process's store buffer; a no-op under SC.  LL, SC, swap and
+    move fence implicitly — an explicit fence is needed only between plain
+    writes and reads. *)
+
 (** {1 Local steps} *)
 
 val toss : int t

@@ -22,16 +22,38 @@ let process t pid =
 
 let processes t = t.processes
 
+(* Under a relaxed memory model ({!Lb_memory.Memory_model}), pending flushes
+   are scheduling choices too.  flush(p, r) is encoded as the pseudo-pid
+   n*(1+r)+p — injective, disjoint from real pids 0..n-1, and decodable
+   without carrying state. *)
+let flush_id t (pid, reg) = (Array.length t.processes * (1 + reg)) + pid
+
 let runnable t =
-  Array.to_list t.processes
-  |> List.filter_map (fun p ->
-         Process.advance_local p t.assignment;
-         if Process.is_terminated p then None else Some (Process.id p))
+  let pids =
+    Array.to_list t.processes
+    |> List.filter_map (fun p ->
+           Process.advance_local p t.assignment;
+           if Process.is_terminated p then None else Some (Process.id p))
+  in
+  match pids with
+  | [] ->
+    (* Quiescence: every process has terminated, so remaining buffered
+       writes drain deterministically — with no reads left, flush order is
+       unobservable and enumerating it would be noise. *)
+    List.iter (fun (pid, _) -> Memory.drain t.memory ~pid) (Memory.buffers t.memory);
+    []
+  | _ :: _ -> pids @ List.map (flush_id t) (Memory.flushable t.memory)
 
 let step t ~pid =
-  let p = process t pid in
-  Process.advance_local p t.assignment;
-  if not (Process.is_terminated p) then ignore (Process.exec_op p t.memory ~round:(-1))
+  let n = Array.length t.processes in
+  if pid >= n then
+    (* A flush pseudo-pid from {!runnable}. *)
+    Memory.flush t.memory ~pid:(pid mod n) ~reg:((pid / n) - 1)
+  else begin
+    let p = process t pid in
+    Process.advance_local p t.assignment;
+    if not (Process.is_terminated p) then ignore (Process.exec_op p t.memory ~round:(-1))
+  end
 
 type outcome = All_terminated | Out_of_fuel | Stalled
 

@@ -26,11 +26,20 @@ val processes : 'a t -> 'a Process.t array
 val runnable : 'a t -> int list
 (** Pids of processes that have not terminated, in id order.  Each process is
     first advanced through its local coin tosses, so every listed process has
-    a pending shared-memory operation. *)
+    a pending shared-memory operation.
+
+    When the memory runs a relaxed model ({!Lb_memory.Memory_model}), every
+    enabled store-buffer flush is appended as a {e pseudo-pid} [n*(1+r)+p]
+    (flush of register [r] by process [p]) — schedulers choose flushes
+    exactly like process steps and need no special handling (they pick from
+    the list).  Once every process has terminated, remaining buffers drain
+    deterministically (their order is unobservable) and the list is empty;
+    under SC the list is always plain pids. *)
 
 val step : 'a t -> pid:int -> unit
 (** Advance the process through local tosses and execute its next
-    shared-memory operation.  No-op if it terminated during the tosses. *)
+    shared-memory operation.  No-op if it terminated during the tosses.
+    A flush pseudo-pid from {!runnable} performs that flush instead. *)
 
 type outcome = All_terminated | Out_of_fuel | Stalled
 

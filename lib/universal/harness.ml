@@ -188,12 +188,24 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
       | Process.Terminated response -> finish slot op proc invoked response
       | Process.Running -> ())
   in
+  (* Under a relaxed memory model, enabled store-buffer flushes join the
+     schedulable set as pseudo-pids [n*(1+r)+p] — the same encoding as
+     {!Lb_runtime.System} — so schedulers and the DPOR oracle decide flush
+     order like any other step.  Fault hooks never see pseudo-pids: faults
+     target processes, and a flush is the memory acting, not a process. *)
+  let flush_ids () =
+    List.map (fun (p, r) -> (n * (1 + r)) + p) (Memory.flushable memory)
+  in
   let rec drive step remaining =
     (match hooks with
     | Some h -> List.iter restart (h.recover ~step)
     | None -> ());
     match runnable () with
-    | [] -> true
+    | [] ->
+      (* Quiescent: every operation responded, so remaining buffered stores
+         drain in a deterministic order no one can observe. *)
+      List.iter (fun (pid, _) -> Memory.drain memory ~pid) (Memory.buffers memory);
+      true
     | pids ->
       if remaining = 0 then false
       else (
@@ -202,26 +214,29 @@ let run_handle ~memory ~handle ~n ~ops ?(scheduler = Scheduler.round_robin)
           | Some h -> h.filter ~step ~pending ~runnable:pids
           | None -> pids
         in
-        match allowed with
+        match allowed @ flush_ids () with
         | [] ->
           (* Everyone left is crashed, delayed or stalled.  Tick idly while a
              recovery or window expiry can still unblock the run. *)
           (match hooks with
           | Some h when h.may_unblock ~step -> drive (step + 1) (remaining - 1)
           | Some _ | None -> false)
-        | _ :: _ -> (
-          match scheduler ~step ~runnable:allowed with
+        | _ :: _ as choices -> (
+          match scheduler ~step ~runnable:choices with
           | None -> false
           | Some pid ->
             if Lb_observe.Tracer.active () then
               Lb_observe.Tracer.record
-                (Lb_observe.Event.Sched { step; chosen = pid; runnable = allowed });
-            let slot = slots.(pid) in
-            (match slot.current with
-            | None -> assert false
-            | Some (op, proc, invoked) ->
-              exec slot op proc invoked;
-              (match hooks with Some h -> h.note_step ~step ~pid | None -> ()));
+                (Lb_observe.Event.Sched { step; chosen = pid; runnable = choices });
+            if pid >= n then Memory.flush memory ~pid:(pid mod n) ~reg:((pid / n) - 1)
+            else begin
+              let slot = slots.(pid) in
+              match slot.current with
+              | None -> assert false
+              | Some (op, proc, invoked) ->
+                exec slot op proc invoked;
+                (match hooks with Some h -> h.note_step ~step ~pid | None -> ())
+            end;
             drive (step + 1) (remaining - 1)))
   in
   let completed = drive 0 fuel in

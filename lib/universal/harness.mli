@@ -108,7 +108,11 @@ val run_handle :
   unit ->
   result
 (** Drive a pre-installed handle ([memory] must already contain the layout's
-    initial values). *)
+    initial values).  When [memory] runs a relaxed model
+    ({!Lb_memory.Memory_model}), every enabled store-buffer flush joins the
+    scheduler's choice set as a pseudo-pid [n*(1+r)+p] — the
+    {!Lb_runtime.System} encoding — and once the run is quiescent, remaining
+    buffers drain deterministically.  Fault hooks only ever see real pids. *)
 
 val run :
   construction:Iface.t ->

@@ -11,6 +11,7 @@ let () =
       ("universal", Suite_universal.suite);
       ("wakeup", Suite_wakeup.suite);
       ("explore", Suite_explore.suite);
+      ("litmus", Suite_litmus.suite);
       ("faults", Suite_faults.suite);
       ("extensions", Suite_extensions.suite);
       ("fuzz", Suite_fuzz.suite);

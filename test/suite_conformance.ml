@@ -237,7 +237,7 @@ let test_mutate_rewrite () =
           | Op.Ll _ -> Op.Value (Value.Int 7)
           | Op.Sc _ | Op.Validate _ -> Op.Flagged (true, Value.Int 7)
           | Op.Swap _ -> Op.Value (Value.Int 7)
-          | Op.Move _ -> Op.Ack
+          | Op.Move _ | Op.Write _ | Op.Fence -> Op.Ack
         in
         go (k resp)
     in

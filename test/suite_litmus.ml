@@ -1,0 +1,80 @@
+(* Tests for the litmus catalog: the programs that pin SC, TSO and PSO
+   apart.  Each verdict here is computed by exhaustive DPOR enumeration
+   (flushes in the decision alphabet), so these are certificates about the
+   simulator's memory models, not samples. *)
+
+open Lowerbound
+
+let find_exn name =
+  match Litmus.find name with
+  | Some t -> t
+  | None -> Alcotest.failf "litmus test %s missing from the catalog" name
+
+let test_find () =
+  Alcotest.(check bool) "case-insensitive lookup" true
+    ((find_exn "sb").Litmus.name = "SB" && (find_exn "IRIW").Litmus.name = "IRIW");
+  Alcotest.(check bool) "unknown name" true (Litmus.find "nope" = None);
+  Alcotest.(check int) "catalog size" 8 (List.length Litmus.catalog)
+
+(* The headline: every catalog test matches its expected per-model
+   admissibility, the outcome lattice holds on every test, and the catalog
+   pairwise-separates all three models.  This is the tentpole's gate — if a
+   store-buffer regression collapses TSO into SC (or MP stops separating TSO
+   from PSO), it fails here before it fails in CI. *)
+let test_catalog_certified () =
+  let verdicts = Litmus.check_all () in
+  List.iter
+    (fun (v : Litmus.verdict) ->
+      Alcotest.(check bool) (v.Litmus.test.Litmus.name ^ " ok") true v.Litmus.ok;
+      Alcotest.(check bool) (v.Litmus.test.Litmus.name ^ " lattice") true v.Litmus.lattice_ok)
+    verdicts;
+  Alcotest.(check bool) "all ok" true (Litmus.all_ok verdicts);
+  Alcotest.(check bool) "models pairwise distinguished" true
+    (Litmus.distinguishes_all_models verdicts)
+
+(* Pinned outcome-set cardinalities for the two separating tests.  SB gains
+   exactly one outcome (r0 = r1 = 0) when store buffering appears; MP gains
+   exactly one (flag seen, data missed) only when buffers go per-register. *)
+let outcome_counts name =
+  let t = find_exn name in
+  List.map
+    (fun model -> Litmus.Outcomes.cardinal (Litmus.outcomes t ~model))
+    Memory_model.all
+
+let test_pinned_outcome_counts () =
+  Alcotest.(check (list int)) "SB: 3 under SC, 4 under TSO/PSO" [ 3; 4; 4 ]
+    (outcome_counts "SB");
+  Alcotest.(check (list int)) "MP: 4 only under PSO" [ 3; 3; 4 ] (outcome_counts "MP");
+  Alcotest.(check (list int)) "SB+fence: SC everywhere" [ 3; 3; 3 ]
+    (outcome_counts "SB+fence");
+  Alcotest.(check (list int)) "LB: forbidden everywhere" [ 3; 3; 3 ] (outcome_counts "LB")
+
+(* The SB relaxed outcome, surgically: present under TSO, absent under SC. *)
+let test_sb_relaxed_outcome_membership () =
+  let sb = find_exn "SB" in
+  let mem model = Litmus.Outcomes.mem sb.Litmus.relaxed_outcome (Litmus.outcomes sb ~model) in
+  Alcotest.(check bool) "SC forbids" false (mem Memory_model.SC);
+  Alcotest.(check bool) "TSO admits" true (mem Memory_model.TSO);
+  Alcotest.(check bool) "PSO admits" true (mem Memory_model.PSO)
+
+(* A deliberately wrong expectation must produce a failing verdict: the
+   checker is live, not vacuously green. *)
+let test_wrong_expectation_fails () =
+  let sb = find_exn "SB" in
+  let lying = { sb with Litmus.admits = (fun _ -> false) } in
+  let v = Litmus.check lying in
+  Alcotest.(check bool) "mismatch detected" false v.Litmus.ok;
+  Alcotest.(check bool) "the TSO cell is the mismatch" true
+    (List.exists
+       (fun (c : Litmus.cell) -> c.Litmus.model = Memory_model.TSO && not (Litmus.cell_ok c))
+       v.Litmus.cells)
+
+let suite =
+  [
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "catalog certified" `Slow test_catalog_certified;
+    Alcotest.test_case "pinned outcome counts" `Quick test_pinned_outcome_counts;
+    Alcotest.test_case "sb relaxed outcome membership" `Quick
+      test_sb_relaxed_outcome_membership;
+    Alcotest.test_case "wrong expectation fails" `Quick test_wrong_expectation_fails;
+  ]

@@ -322,6 +322,148 @@ let test_layout_isolates_constructions () =
   in
   Alcotest.(check int) "one CAS winner" 1 (List.length winners)
 
+(* ---- store buffers: the TSO / PSO axis ---- *)
+
+let test_write_sc_immediate () =
+  (* Under SC a plain write applies instantly and kills links, like the
+     paper's other write-kind operations. *)
+  let m = Memory.create ~default:(Value.Int 0) () in
+  ignore (Memory.apply m ~pid:1 (Op.Ll 0));
+  Alcotest.check response "write acks" Op.Ack (Memory.apply m ~pid:0 (Op.Write (0, Value.Int 7)));
+  Alcotest.check value "visible immediately" (Value.Int 7) (Memory.peek m 0);
+  Alcotest.(check bool) "links killed" true (Ids.is_empty (Memory.pset m 0));
+  Alcotest.(check (list (pair int int))) "nothing to flush" [] (Memory.flushable m)
+
+let test_tso_write_buffers () =
+  let m = Memory.create ~model:Memory_model.TSO ~default:(Value.Int 0) () in
+  ignore (Memory.apply m ~pid:0 (Op.Write (0, Value.Int 1)));
+  Alcotest.check value "shared memory unchanged" (Value.Int 0) (Memory.peek m 0);
+  (* Own plain read sees the buffered value; another process's does not. *)
+  Alcotest.check response "own read hits buffer" (Op.Flagged (false, Value.Int 1))
+    (Memory.apply m ~pid:0 (Op.Validate 0));
+  Alcotest.check response "other read misses buffer" (Op.Flagged (false, Value.Int 0))
+    (Memory.apply m ~pid:1 (Op.Validate 0));
+  Alcotest.(check (list (pair int int))) "one flush enabled" [ (0, 0) ] (Memory.flushable m);
+  Memory.flush m ~pid:0 ~reg:0;
+  Alcotest.check value "flushed" (Value.Int 1) (Memory.peek m 0);
+  Alcotest.(check (list (pair int int))) "buffer empty" [] (Memory.flushable m)
+
+let test_tso_fifo () =
+  (* TSO: one FIFO per process — only the oldest entry is flushable, and
+     flushing out of order is a programming error. *)
+  let m = Memory.create ~model:Memory_model.TSO ~default:(Value.Int 0) () in
+  ignore (Memory.apply m ~pid:0 (Op.Write (0, Value.Int 1)));
+  ignore (Memory.apply m ~pid:0 (Op.Write (1, Value.Int 2)));
+  Alcotest.(check (list (pair int int))) "head only" [ (0, 0) ] (Memory.flushable m);
+  Alcotest.check_raises "non-head flush rejected"
+    (Invalid_argument "Memory.flush: TSO head of p0's buffer is R0, not R1") (fun () ->
+      Memory.flush m ~pid:0 ~reg:1);
+  Memory.flush m ~pid:0 ~reg:0;
+  Alcotest.(check (list (pair int int))) "next head" [ (0, 1) ] (Memory.flushable m)
+
+let test_pso_per_register () =
+  (* PSO: distinct registers flush independently — the flag can overtake the
+     data, which is exactly what the MP litmus test observes. *)
+  let m = Memory.create ~model:Memory_model.PSO ~default:(Value.Int 0) () in
+  ignore (Memory.apply m ~pid:0 (Op.Write (0, Value.Int 1)));
+  ignore (Memory.apply m ~pid:0 (Op.Write (1, Value.Int 2)));
+  Alcotest.(check (list (pair int int)))
+    "both registers flushable" [ (0, 0); (0, 1) ] (Memory.flushable m);
+  Memory.flush m ~pid:0 ~reg:1;
+  Alcotest.check value "flag landed first" (Value.Int 2) (Memory.peek m 1);
+  Alcotest.check value "data still buffered" (Value.Int 0) (Memory.peek m 0);
+  (* Same register stays FIFO: two writes to R0 flush oldest-first. *)
+  ignore (Memory.apply m ~pid:0 (Op.Write (0, Value.Int 9)));
+  Memory.flush m ~pid:0 ~reg:0;
+  Alcotest.check value "oldest write of R0 first" (Value.Int 1) (Memory.peek m 0);
+  Memory.flush m ~pid:0 ~reg:0;
+  Alcotest.check value "then the newer" (Value.Int 9) (Memory.peek m 0)
+
+let test_fences_drain () =
+  (* Every synchronisation operation drains the issuing process's buffer
+     before acting; Fence drains and does nothing else. *)
+  List.iter
+    (fun (name, inv) ->
+      let m = Memory.create ~model:Memory_model.TSO ~default:(Value.Int 0) () in
+      ignore (Memory.apply m ~pid:0 (Op.Write (2, Value.Int 5)));
+      ignore (Memory.apply m ~pid:0 inv);
+      Alcotest.check value (name ^ " drained the buffer") (Value.Int 5) (Memory.peek m 2);
+      Alcotest.(check (list (pair int int))) (name ^ " left nothing buffered") []
+        (Memory.flushable m))
+    [
+      ("ll", Op.Ll 0);
+      ("sc", Op.Sc (0, Value.Int 1));
+      ("swap", Op.Swap (0, Value.Int 1));
+      ("move", Op.Move (0, 1));
+      ("fence", Op.Fence);
+    ];
+  (* ...but only the issuing process's: p1's fence leaves p0's buffer. *)
+  let m = Memory.create ~model:Memory_model.TSO ~default:(Value.Int 0) () in
+  ignore (Memory.apply m ~pid:0 (Op.Write (2, Value.Int 5)));
+  ignore (Memory.apply m ~pid:1 Op.Fence);
+  Alcotest.(check (list (pair int int))) "p0 still buffered" [ (0, 2) ] (Memory.flushable m)
+
+let test_flush_kills_links () =
+  (* The write's link-kill happens when it lands, not when it is issued: a
+     link taken between issue and flush dies at flush time. *)
+  let m = Memory.create ~model:Memory_model.TSO ~default:(Value.Int 0) () in
+  ignore (Memory.apply m ~pid:0 (Op.Write (0, Value.Int 1)));
+  ignore (Memory.apply m ~pid:1 (Op.Ll 0));
+  Alcotest.(check bool) "link survives the buffered write" true (Ids.mem 1 (Memory.pset m 0));
+  Memory.flush m ~pid:0 ~reg:0;
+  Alcotest.(check bool) "link dies at flush" true (Ids.is_empty (Memory.pset m 0));
+  Alcotest.check response "p1's SC fails" (Op.Flagged (false, Value.Int 1))
+    (Memory.apply m ~pid:1 (Op.Sc (0, Value.Int 9)))
+
+let test_pure_memory_buffers_match () =
+  (* The persistent model-checking memory implements the identical buffer
+     semantics: drive the same relaxed script through both and compare. *)
+  List.iter
+    (fun model ->
+      let m = Memory.create ~model ~default:(Value.Int 0) () in
+      let pm = ref (Pure_memory.create ~model ~default:(Value.Int 0) ~inits:[] ()) in
+      let script =
+        [
+          (0, Op.Write (0, Value.Int 1)); (0, Op.Write (1, Value.Int 2));
+          (1, Op.Validate 0); (0, Op.Validate 0); (1, Op.Ll 1);
+          (0, Op.Write (0, Value.Int 3)); (1, Op.Sc (1, Value.Int 9)); (0, Op.Fence);
+          (1, Op.Swap (0, Value.Int 4));
+        ]
+      in
+      List.iter
+        (fun (pid, inv) ->
+          let rm = Memory.apply m ~pid inv in
+          let rp, pm' = Pure_memory.apply !pm ~pid inv in
+          pm := pm';
+          Alcotest.check response
+            (Printf.sprintf "%s: same response" (Memory_model.to_string model)) rm rp)
+        script;
+      List.iter
+        (fun r ->
+          Alcotest.check value
+            (Printf.sprintf "%s: same R%d" (Memory_model.to_string model) r)
+            (Memory.peek m r) (Pure_memory.peek !pm r))
+        [ 0; 1; 2 ];
+      Alcotest.(check (list (pair int int)))
+        (Memory_model.to_string model ^ ": same flushable set")
+        (Memory.flushable m)
+        (Pure_memory.flushable !pm))
+    [ Memory_model.TSO; Memory_model.PSO ]
+
+let test_model_strings () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Memory_model.to_string m ^ " roundtrips") true
+        (Memory_model.of_string (Memory_model.to_string m) = Ok m))
+    Memory_model.all;
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Memory_model.of_string "weird"));
+  Alcotest.(check bool) "lattice: SC <= TSO <= PSO" true
+    (Memory_model.weaker_or_equal Memory_model.SC Memory_model.TSO
+    && Memory_model.weaker_or_equal Memory_model.TSO Memory_model.PSO
+    && not (Memory_model.weaker_or_equal Memory_model.PSO Memory_model.TSO))
+
 let suite =
   [
     Alcotest.test_case "initial default" `Quick test_initial_default;
@@ -348,4 +490,12 @@ let suite =
     Alcotest.test_case "access profile" `Quick test_profile;
     Alcotest.test_case "empty profile" `Quick test_profile_empty;
     Alcotest.test_case "layout isolates constructions" `Quick test_layout_isolates_constructions;
+    Alcotest.test_case "write under SC is immediate" `Quick test_write_sc_immediate;
+    Alcotest.test_case "tso write buffers" `Quick test_tso_write_buffers;
+    Alcotest.test_case "tso buffer is fifo" `Quick test_tso_fifo;
+    Alcotest.test_case "pso buffers per register" `Quick test_pso_per_register;
+    Alcotest.test_case "fences drain" `Quick test_fences_drain;
+    Alcotest.test_case "flush kills links" `Quick test_flush_kills_links;
+    Alcotest.test_case "pure memory matches buffers" `Quick test_pure_memory_buffers_match;
+    Alcotest.test_case "memory model strings + lattice" `Quick test_model_strings;
   ]

@@ -289,6 +289,60 @@ let test_result_exn () =
   Alcotest.check_raises "still running" (Invalid_argument "System.result_exn: p0 still running")
     (fun () -> ignore (System.result_exn sys2 0))
 
+(* ---- relaxed memory: flush pseudo-pids and quiescence ---- *)
+
+let test_relaxed_flush_scheduling () =
+  let memory = Memory.create ~model:Memory_model.TSO ~default:(Value.Int 0) () in
+  let program pid =
+    if pid = 0 then
+      let* () = Program.write 1 (Value.Int 7) in
+      Program.return 0
+    else
+      let* a = Program.read 1 in
+      let* b = Program.read 1 in
+      Program.return ((10 * Value.to_int a) + Value.to_int b)
+  in
+  let sys = System.create ~memory ~n:2 program in
+  System.step sys ~pid:0;
+  (* p0's buffered write of R1 is flush pseudo-pid n*(1+r)+p = 2*2+0 = 4. *)
+  Alcotest.(check (list int)) "flush joins the schedulable set" [ 1; 4 ] (System.runnable sys);
+  Alcotest.check value "not yet visible" (Value.Int 0) (Memory.peek memory 1);
+  System.step sys ~pid:1;
+  Alcotest.(check (list int)) "flush still pending" [ 1; 4 ] (System.runnable sys);
+  System.step sys ~pid:4;
+  Alcotest.check value "flush applied the write" (Value.Int 7) (Memory.peek memory 1);
+  Alcotest.(check (list int)) "only p1 left" [ 1 ] (System.runnable sys);
+  System.step sys ~pid:1;
+  Alcotest.(check (list int)) "all terminated" [] (System.runnable sys);
+  Alcotest.(check int) "p1 read 0 before the flush, 7 after" 7 (System.result_exn sys 1)
+
+let test_relaxed_quiescent_drain () =
+  (* When every process has returned, leftover buffers drain on the spot:
+     their order is no longer observable, so no scheduling choice remains. *)
+  let memory = Memory.create ~model:Memory_model.PSO ~default:(Value.Int 0) () in
+  let program _pid =
+    let* () = Program.write 0 (Value.Int 1) in
+    let* () = Program.write 1 (Value.Int 2) in
+    Program.return 0
+  in
+  let sys = System.create ~memory ~n:1 program in
+  System.step sys ~pid:0;
+  System.step sys ~pid:0;
+  Alcotest.(check (list int)) "quiescent" [] (System.runnable sys);
+  Alcotest.check value "R0 drained" (Value.Int 1) (Memory.peek memory 0);
+  Alcotest.check value "R1 drained" (Value.Int 2) (Memory.peek memory 1)
+
+let test_sc_never_schedules_flushes () =
+  let memory = Memory.create ~default:(Value.Int 0) () in
+  let program _pid =
+    let* () = Program.write 0 (Value.Int 1) in
+    Program.return 0
+  in
+  let sys = System.create ~memory ~n:2 program in
+  Alcotest.(check (list int)) "plain pids only" [ 0; 1 ] (System.runnable sys);
+  System.step sys ~pid:0;
+  Alcotest.check value "write immediate under SC" (Value.Int 1) (Memory.peek memory 0)
+
 let suite =
   [
     Alcotest.test_case "coin constant" `Quick test_coin_constant;
@@ -317,4 +371,7 @@ let suite =
     Alcotest.test_case "crash scheduler" `Quick test_crash_scheduler;
     Alcotest.test_case "random scheduler deterministic" `Quick test_random_scheduler_deterministic;
     Alcotest.test_case "result_exn" `Quick test_result_exn;
+    Alcotest.test_case "relaxed flush scheduling" `Quick test_relaxed_flush_scheduling;
+    Alcotest.test_case "relaxed quiescent drain" `Quick test_relaxed_quiescent_drain;
+    Alcotest.test_case "sc never schedules flushes" `Quick test_sc_never_schedules_flushes;
   ]
